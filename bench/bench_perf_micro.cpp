@@ -1,0 +1,160 @@
+// google-benchmark micro-benchmarks of the simulator itself: cycle-level
+// core stepping, cache accesses, stream generation, sampler memoisation
+// and the discrete-event engine.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "isa/kernel.hpp"
+#include "isa/stream.hpp"
+#include "mem/hierarchy.hpp"
+#include "mpisim/engine.hpp"
+#include "smt/chip.hpp"
+#include "smt/sampler.hpp"
+
+using namespace smtbal;
+
+namespace {
+
+const isa::Kernel& hpc() {
+  return isa::KernelRegistry::instance().by_name(isa::kKernelHpcMixed);
+}
+
+void BM_StreamGen(benchmark::State& state) {
+  isa::StreamGen stream(hpc(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamGen);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(mem::CacheConfig{.name = "bench",
+                                    .size_bytes = 32 * 1024,
+                                    .line_bytes = 128,
+                                    .associativity = 4,
+                                    .hit_latency = 2});
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(address, false));
+    address += 64;
+    address &= (1 << 18) - 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.access(0, address, false));
+    address += 128;
+    address &= (1 << 22) - 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_CoreStepSolo(benchmark::State& state) {
+  smt::ChipConfig config;
+  smt::Chip chip(config);
+  isa::StreamGen stream(hpc(), 1);
+  chip.bind_stream(config.cpu(0), &stream);
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["IPC"] = benchmark::Counter(
+      static_cast<double>(chip.perf(config.cpu(0)).retired) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CoreStepSolo);
+
+void BM_CoreStepSmtPair(benchmark::State& state) {
+  smt::ChipConfig config;
+  smt::Chip chip(config);
+  isa::StreamGen s0(hpc(), 1), s1(hpc(), 2);
+  chip.bind_stream(config.cpu(0), &s0);
+  chip.bind_stream(config.cpu(1), &s1);
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreStepSmtPair);
+
+void BM_CoreStepFourContexts(benchmark::State& state) {
+  smt::ChipConfig config;
+  smt::Chip chip(config);
+  isa::StreamGen s0(hpc(), 1), s1(hpc(), 2), s2(hpc(), 3), s3(hpc(), 4);
+  chip.bind_stream(config.cpu(0), &s0);
+  chip.bind_stream(config.cpu(1), &s1);
+  chip.bind_stream(config.cpu(2), &s2);
+  chip.bind_stream(config.cpu(3), &s3);
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreStepFourContexts);
+
+void BM_SamplerColdMeasurement(benchmark::State& state) {
+  // Cost of one full cycle-level measurement window (cache miss).
+  const auto kernel = hpc().id;
+  for (auto _ : state) {
+    smt::ThroughputSampler sampler(
+        smt::ChipConfig{},
+        smt::ThroughputSampler::Options{.warmup_cycles = 30000,
+                                        .window_cycles = 120000,
+                                        .seed = 1});
+    smt::ChipLoad load;
+    load.contexts[0] = smt::ContextLoad{kernel, smt::HwPriority::kMedium};
+    load.contexts[1] = smt::ContextLoad{kernel, smt::HwPriority::kMedium};
+    benchmark::DoNotOptimize(sampler.sample(load));
+  }
+}
+BENCHMARK(BM_SamplerColdMeasurement)->Unit(benchmark::kMillisecond);
+
+void BM_SamplerMemoisedLookup(benchmark::State& state) {
+  const auto kernel = hpc().id;
+  smt::ThroughputSampler sampler{smt::ChipConfig{}};
+  smt::ChipLoad load;
+  load.contexts[0] = smt::ContextLoad{kernel, smt::HwPriority::kMedium};
+  (void)sampler.sample(load);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(load));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerMemoisedLookup);
+
+void BM_EngineBarrierApp(benchmark::State& state) {
+  // Discrete-event engine throughput: a 4-rank barrier app with a warm
+  // shared sampler; measures pure engine overhead per run.
+  const auto kernel = hpc().id;
+  mpisim::EngineConfig config;
+  config.sampler = {.warmup_cycles = 20000, .window_cycles = 80000, .seed = 1};
+  auto sampler =
+      std::make_shared<smt::ThroughputSampler>(config.chip, config.sampler);
+  mpisim::Application app;
+  app.ranks.resize(4);
+  for (auto& rank : app.ranks) {
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      rank.compute(kernel, 1e8).barrier();
+    }
+  }
+  const auto placement = mpisim::Placement::identity(4);
+  for (auto _ : state) {
+    mpisim::Engine engine(app, placement, config, sampler);
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineBarrierApp)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table I reproduction: hardware thread priorities in the IBM POWER5 —
+// level names, required privilege and the or-nop encodings, plus a check
+// of which levels each privilege class can actually set through the
+// modeled kernel interfaces.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "os/kernel.hpp"
+#include "smt/priority.hpp"
+
+using namespace smtbal;
+
+int main() {
+  bench::print_header(
+      "Table I — Hardware thread priorities in the IBM POWER5 processor");
+
+  TextTable table({"Priority", "Priority level", "Privilege level", "or-nop inst."});
+  for (int p = 0; p <= 7; ++p) {
+    const auto priority = smt::priority_from_int(p);
+    const auto encoding = smt::or_nop_encoding(priority);
+    table.add_row({std::to_string(p), std::string(smt::to_string(priority)),
+                   std::string(smt::to_string(smt::required_privilege(priority))),
+                   encoding ? std::string(*encoding) : "-"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nSettable levels per privilege class (or-nop interface):\n";
+  TextTable settable({"Privilege", "Settable priorities"});
+  for (const auto level :
+       {smt::PrivilegeLevel::kUser, smt::PrivilegeLevel::kSupervisor,
+        smt::PrivilegeLevel::kHypervisor}) {
+    std::string allowed;
+    for (int p = 0; p <= 7; ++p) {
+      if (smt::can_set(level, smt::priority_from_int(p))) {
+        if (!allowed.empty()) allowed += ", ";
+        allowed += std::to_string(p);
+      }
+    }
+    settable.add_row({std::string(smt::to_string(level)), allowed});
+  }
+  std::cout << settable.render();
+
+  // The paper's patch: /proc/<pid>/hmt_priority accepts the OS range 1..6.
+  std::cout << "\n/proc/<pid>/hmt_priority (paper SVI-B patch):\n";
+  smt::ChipConfig chip;
+  os::KernelModel vanilla(os::KernelFlavor::kVanilla, chip);
+  os::KernelModel patched(os::KernelFlavor::kPatched, chip);
+  const Pid vp = vanilla.spawn(chip.cpu(0));
+  const Pid pp = patched.spawn(chip.cpu(0));
+  TextTable proc({"Kernel", "write 6", "write 0", "write 7"});
+  const auto attempt = [](os::KernelModel& kernel, Pid pid, int value) {
+    try {
+      kernel.write_hmt_priority(pid, value);
+      return std::string("ok");
+    } catch (const InvalidArgument& e) {
+      return std::string("EINVAL");
+    }
+  };
+  proc.add_row({"vanilla 2.6.19", attempt(vanilla, vp, 6), attempt(vanilla, vp, 0),
+                attempt(vanilla, vp, 7)});
+  proc.add_row({"patched 2.6.19", attempt(patched, pp, 6), attempt(patched, pp, 0),
+                attempt(patched, pp, 7)});
+  std::cout << proc.render();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table II reproduction: decode-cycle allocation as a function of the
+// priority difference — both the analytic shares (R = 2^(|X-Y|+1), 1 vs
+// R-1) and the *measured* decode-slot grants and per-thread IPC from the
+// cycle-level core model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "isa/kernel.hpp"
+#include "smt/sampler.hpp"
+
+using namespace smtbal;
+using namespace smtbal::smt;
+
+int main() {
+  bench::print_header(
+      "Table II — Decode cycles allocation with different priorities");
+
+  TextTable table({"Priority diff (X-Y)", "R", "Decode cycles for A",
+                   "Decode cycles for B"});
+  for (int diff = 0; diff <= 4; ++diff) {
+    const DecodeShare share =
+        decode_share(priority_from_int(2 + diff), HwPriority::kLow);
+    table.add_row({std::to_string(diff), std::to_string(share.slice_cycles),
+                   std::to_string(share.slots_a), std::to_string(share.slots_b)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nMeasured on the cycle-level core (two identical hpc_mixed "
+               "threads,\nthread B fixed at HIGH priority):\n";
+  ThroughputSampler sampler{ChipConfig{}};
+  const auto kernel = isa::KernelRegistry::instance().by_name(
+      isa::kKernelHpcMixed).id;
+
+  ChipLoad eq;
+  eq.contexts[0] = ContextLoad{kernel, HwPriority::kMedium};
+  eq.contexts[1] = ContextLoad{kernel, HwPriority::kMedium};
+  const double base = (sampler.sample(eq).ipc[0] + sampler.sample(eq).ipc[1]) / 2;
+
+  TextTable measured({"diff", "starved IPC", "favored IPC",
+                      "starved (x equal)", "favored (x equal)", "ratio"});
+  measured.add_row({"0", TextTable::num(base, 3), TextTable::num(base, 3),
+                    "1.00", "1.00", "1.00"});
+  for (int diff = 1; diff <= 4; ++diff) {
+    ChipLoad load;
+    load.contexts[0] = ContextLoad{kernel, priority_from_int(6 - diff)};
+    load.contexts[1] = ContextLoad{kernel, HwPriority::kHigh};
+    const auto& rates = sampler.sample(load);
+    measured.add_row({std::to_string(diff), TextTable::num(rates.ipc[0], 3),
+                      TextTable::num(rates.ipc[1], 3),
+                      TextTable::num(rates.ipc[0] / base, 2),
+                      TextTable::num(rates.ipc[1] / base, 2),
+                      TextTable::num(rates.ipc[1] / rates.ipc[0], 2)});
+  }
+  std::cout << measured.render();
+  std::cout
+      << "\nNote the two properties the paper relies on: the favored thread's\n"
+         "speed-up saturates, while the starved thread's slowdown grows\n"
+         "super-linearly with the priority difference (paper SVII-A, case D).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table VI + Figure 4 reproduction: SIESTA, the paper's real application.
+// Its per-iteration bottleneck varies, so the best static assignment only
+// buys ~8% (case C); over-prioritising loses (case D).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workloads/siesta.hpp"
+
+using namespace smtbal;
+
+int main() {
+  bench::print_header(
+      "Table VI / Figure 4 — SIESTA balanced and imbalanced characterization");
+
+  const auto app = workloads::build_siesta(workloads::SiestaConfig{});
+  const auto outcomes =
+      bench::run_paper_cases(app, workloads::siesta_cases());
+
+  bench::print_characterization(outcomes);
+  bench::print_gantts(outcomes);
+
+  const std::vector<bench::PaperReference> paper = {
+      {"A", 14.43, 858.57},
+      {"B", 5.99, 847.91},
+      {"C", 1.46, 789.20},
+      {"D", 16.64, 976.35},
+  };
+  bench::print_paper_comparison(outcomes, paper);
+
+  std::cout << '\n';
+  for (std::size_t c = 1; c < outcomes.size(); ++c) {
+    std::cout << trace::summary_line(outcomes[c].report, outcomes[0].report)
+              << '\n';
+  }
+  std::cout
+      << "\nShape checks: B is roughly neutral, C is the best static\n"
+         "assignment (paper: 8.1% improvement), D loses (paper: 13.7% loss).\n"
+         "Because the bottleneck rotates between iterations, the static gain\n"
+         "is much smaller than BT-MZ's — the paper's motivation for a dynamic\n"
+         "balancer (see bench_ablation_dynamic).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Priority-response explorer: measures how the two SMT contexts of one
+// core divide throughput as the hardware-priority gap grows, for any
+// builtin kernel — the tool you would use to calibrate a balancing
+// policy for a new workload (and the data behind paper Table II).
+//
+//   $ ./priority_sweep            # uses hpc_mixed
+//   $ ./priority_sweep dft_scf    # any builtin kernel name
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "isa/kernel.hpp"
+#include "smt/sampler.hpp"
+
+using namespace smtbal;
+using namespace smtbal::smt;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : std::string(isa::kKernelHpcMixed);
+  const auto& registry = isa::KernelRegistry::instance();
+  if (!registry.contains(name)) {
+    std::cerr << "unknown kernel '" << name << "'; available:\n";
+    for (const auto& kernel : registry.all()) {
+      std::cerr << "  " << kernel.name() << '\n';
+    }
+    return 1;
+  }
+  const isa::KernelId kernel = registry.by_name(name).id;
+
+  ThroughputSampler sampler{ChipConfig{}};
+
+  ChipLoad solo;
+  solo.contexts[0] = ContextLoad{kernel, HwPriority::kVeryHigh};
+  const double solo_ipc = sampler.sample(solo).ipc[0];
+
+  std::cout << "kernel: " << name << "\nsingle-thread (ST mode) IPC: "
+            << TextTable::num(solo_ipc, 3) << "\n\n";
+
+  TextTable table({"prio A", "prio B", "IPC A", "IPC B", "A (x solo)",
+                   "B (x solo)", "total (x solo)"});
+  for (int diff = -4; diff <= 4; ++diff) {
+    const int pa = diff <= 0 ? 6 + diff : 6;
+    const int pb = diff <= 0 ? 6 : 6 - diff;
+    ChipLoad load;
+    load.contexts[0] = ContextLoad{kernel, priority_from_int(pa)};
+    load.contexts[1] = ContextLoad{kernel, priority_from_int(pb)};
+    const auto& rates = sampler.sample(load);
+    table.add_row({std::to_string(pa), std::to_string(pb),
+                   TextTable::num(rates.ipc[0], 3),
+                   TextTable::num(rates.ipc[1], 3),
+                   TextTable::num(rates.ipc[0] / solo_ipc, 2),
+                   TextTable::num(rates.ipc[1] / solo_ipc, 2),
+                   TextTable::num((rates.ipc[0] + rates.ipc[1]) / solo_ipc, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading the table: equal priorities split the core fairly\n"
+               "with a real SMT throughput gain; each level of difference\n"
+               "roughly halves the starved thread while the favored one\n"
+               "saturates — choose the gap that matches your load ratio, and\n"
+               "never overshoot (paper SVII-A case D).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Error handling: exceptions for API misuse, CHECK-style macros for
+// internal invariants. Following the C++ Core Guidelines (E.2, I.5) we
+// throw on contract violations at module boundaries and assert on
+// internal logic errors.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smtbal {
+
+/// Thrown when a caller violates a documented precondition of a public API
+/// (e.g. setting a hardware priority outside the privilege level's range).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when the simulated system reaches a state the model cannot
+/// represent (e.g. a rank waits on a message that can never be sent).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const std::string& msg,
+                                      const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace smtbal
+
+/// Internal invariant check; always active (simulation correctness beats
+/// the negligible branch cost). Throws std::logic_error on failure.
+#define SMTBAL_CHECK(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::smtbal::detail::check_failed(#expr, {}, std::source_location::current()); \
+    }                                                                         \
+  } while (false)
+
+#define SMTBAL_CHECK_MSG(expr, msg)                                           \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::smtbal::detail::check_failed(#expr, (msg), std::source_location::current()); \
+    }                                                                         \
+  } while (false)
+
+/// Precondition check at a public API boundary: throws InvalidArgument.
+#define SMTBAL_REQUIRE(expr, msg)                         \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      throw ::smtbal::InvalidArgument(std::string(msg));  \
+    }                                                     \
+  } while (false)

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace smtbal {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  std::cerr << '[' << to_string(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace smtbal

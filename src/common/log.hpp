@@ -1,0 +1,76 @@
+// Minimal leveled logger. Single-threaded simulator => no locking needed;
+// kept deliberately simple so log calls stay cheap when filtered out.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace smtbal {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Global log configuration. Default level is kWarn so library users see
+/// problems but tests/benches stay quiet.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one formatted line to stderr.
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+
+/// Builds the message lazily: stream insertion only happens if the level is
+/// enabled at the call site (callers use the SMTBAL_LOG macro).
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace smtbal
+
+#define SMTBAL_LOG(level, component)                           \
+  if (!::smtbal::Logger::instance().enabled(level)) {          \
+  } else                                                       \
+    ::smtbal::detail::LogLine(level, component)
+
+#define SMTBAL_DEBUG(component) SMTBAL_LOG(::smtbal::LogLevel::kDebug, component)
+#define SMTBAL_INFO(component) SMTBAL_LOG(::smtbal::LogLevel::kInfo, component)
+#define SMTBAL_WARN(component) SMTBAL_LOG(::smtbal::LogLevel::kWarn, component)

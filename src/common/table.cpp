@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SMTBAL_REQUIRE(!header_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SMTBAL_REQUIRE(cells.size() == header_.size(),
+                 "row width does not match header width");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto line = [&](char fill) {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, fill) + "+";
+    return s + "\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += ' ' + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = line('-');
+  out += emit(header_);
+  out += line('=');
+  for (const Row& row : rows_) {
+    out += row.separator ? line('-') : emit(row.cells);
+  }
+  out += line('-');
+  return out;
+}
+
+std::string TextTable::num(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int digits) {
+  return num(fraction * 100.0, digits);
+}
+
+}  // namespace smtbal

@@ -1,0 +1,45 @@
+// Plain-text table formatter used by the benchmark harnesses to print
+// paper-style tables (Table I .. Table VI) with aligned columns.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace smtbal {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering pads each column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Renders the full table, each line terminated with '\n'.
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double with `digits` decimal places.
+  [[nodiscard]] static std::string num(double value, int digits = 2);
+
+  /// Formats a ratio as a percentage string like "75.69".
+  [[nodiscard]] static std::string pct(double fraction, int digits = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace smtbal

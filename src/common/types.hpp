@@ -1,0 +1,80 @@
+// Strong-typed identifiers and time units shared by every smtbalance module.
+//
+// The simulator has two clocks:
+//   * Cycle    -- processor cycles inside the cycle-level SMT core model.
+//   * SimTime  -- application wall-clock seconds inside the discrete-event
+//                 MPI engine (derived from cycles via the chip frequency).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+
+namespace smtbal {
+
+/// Processor cycle count (cycle-level core model).
+using Cycle = std::uint64_t;
+
+/// Application-level simulated time, in seconds.
+using SimTime = double;
+
+/// Retired-instruction count.
+using InstrCount = std::uint64_t;
+
+namespace detail {
+
+/// CRTP-free strongly typed integer id. `Tag` makes each instantiation a
+/// distinct type so a CoreId cannot be passed where a RankId is expected.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  Rep value_ = 0;
+};
+
+}  // namespace detail
+
+/// Index of a core within the chip (POWER5: 0 or 1).
+using CoreId = detail::StrongId<struct CoreIdTag>;
+
+/// Index of a hardware thread (SMT context) within a core (POWER5: 0 or 1).
+using ThreadSlot = detail::StrongId<struct ThreadSlotTag>;
+
+/// MPI rank within an application.
+using RankId = detail::StrongId<struct RankIdTag>;
+
+/// Operating-system process id (used by the /proc interface emulation).
+using Pid = detail::StrongId<struct PidTag, std::int32_t>;
+
+/// A fully qualified hardware context: (core, SMT slot). This is what the
+/// OS scheduler binds a process to, and what the paper calls "CPUn".
+struct CpuId {
+  CoreId core;
+  ThreadSlot slot;
+
+  constexpr auto operator<=>(const CpuId&) const = default;
+
+  /// Linear CPU number as the OS would report it (core-major order),
+  /// i.e. CPU0 = (core0, slot0), CPU1 = (core0, slot1), ...
+  [[nodiscard]] constexpr std::uint32_t linear(std::uint32_t slots_per_core) const {
+    return core.value() * slots_per_core + slot.value();
+  }
+};
+
+}  // namespace smtbal
+
+template <typename Tag, typename Rep>
+struct std::hash<smtbal::detail::StrongId<Tag, Rep>> {
+  std::size_t operator()(const smtbal::detail::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,86 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/static_policy.hpp"
+
+namespace smtbal::core {
+
+void AdvisorConfig::validate() const {
+  SMTBAL_REQUIRE(!priority_levels.empty(), "need at least one priority level");
+  for (int p : priority_levels) {
+    SMTBAL_REQUIRE(p >= 1 && p <= 6, "priority levels must be in 1..6");
+  }
+  SMTBAL_REQUIRE(max_candidates > 0, "max_candidates must be positive");
+}
+
+std::vector<AdvisorCandidate> PriorityAdvisor::search(
+    const mpisim::Application& app, const AdvisorConfig& config) {
+  config.validate();
+  const std::size_t n = app.size();
+
+  std::vector<mpisim::Placement> placements;
+  if (config.placements.empty()) {
+    placements.push_back(mpisim::Placement::identity(n));
+  } else {
+    for (const auto& linear : config.placements) {
+      SMTBAL_REQUIRE(linear.size() == n,
+                     "placement size must match rank count");
+      placements.push_back(mpisim::Placement::from_linear(linear));
+    }
+  }
+
+  const std::size_t levels = config.priority_levels.size();
+  std::size_t vectors = 1;
+  for (std::size_t r = 0; r < n; ++r) {
+    vectors *= levels;
+    SMTBAL_REQUIRE(vectors <= config.max_candidates,
+                   "search space exceeds max_candidates");
+  }
+  SMTBAL_REQUIRE(vectors * placements.size() <= config.max_candidates,
+                 "search space exceeds max_candidates");
+
+  std::vector<AdvisorCandidate> results;
+  results.reserve(vectors * placements.size());
+
+  for (const mpisim::Placement& placement : placements) {
+    for (std::size_t v = 0; v < vectors; ++v) {
+      std::vector<int> priorities(n);
+      std::size_t code = v;
+      for (std::size_t r = 0; r < n; ++r) {
+        priorities[r] = config.priority_levels[code % levels];
+        code /= levels;
+      }
+      StaticPriorityPolicy policy(priorities);
+      const mpisim::RunResult run = balancer_.run(app, placement, &policy);
+      results.push_back(AdvisorCandidate{placement, std::move(priorities),
+                                         run.exec_time, run.imbalance});
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const AdvisorCandidate& a, const AdvisorCandidate& b) {
+              return a.exec_time < b.exec_time;
+            });
+  return results;
+}
+
+std::string describe(const AdvisorCandidate& candidate) {
+  std::ostringstream os;
+  os << "cpus[";
+  for (std::size_t r = 0; r < candidate.placement.cpu_of_rank.size(); ++r) {
+    if (r != 0) os << ',';
+    os << candidate.placement.cpu_of_rank[r].linear(smt::kThreadsPerCore);
+  }
+  os << "] prio[";
+  for (std::size_t r = 0; r < candidate.priorities.size(); ++r) {
+    if (r != 0) os << ',';
+    os << candidate.priorities[r];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace smtbal::core

@@ -1,0 +1,55 @@
+// Offline priority advisor: exhaustive search over (placement, priority)
+// assignments by repeated simulation.
+//
+// The paper chooses its case configurations by expert reasoning (§VII-B:
+// "this mapping seems reasonable, for our goal is..."). The advisor
+// automates that step: given an application, it simulates every candidate
+// configuration and ranks them by execution time — useful both as a
+// deployment tool and as the mapping-sensitivity ablation
+// (bench_ablation_mapping).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "mpisim/phase.hpp"
+
+namespace smtbal::core {
+
+struct AdvisorCandidate {
+  mpisim::Placement placement;
+  std::vector<int> priorities;
+  SimTime exec_time = 0.0;
+  double imbalance = 0.0;
+};
+
+struct AdvisorConfig {
+  /// Priorities considered per rank.
+  std::vector<int> priority_levels{4, 5, 6};
+  /// Placements considered (each as linear CPU numbers per rank).
+  /// Empty = identity placement only.
+  std::vector<std::vector<std::uint32_t>> placements;
+  /// Cap on simulated configurations (safety valve).
+  std::size_t max_candidates = 4096;
+
+  void validate() const;
+};
+
+class PriorityAdvisor {
+ public:
+  explicit PriorityAdvisor(Balancer& balancer) : balancer_(balancer) {}
+
+  /// Simulates every (placement x priority-vector) combination and
+  /// returns them sorted by execution time, best first.
+  [[nodiscard]] std::vector<AdvisorCandidate> search(
+      const mpisim::Application& app, const AdvisorConfig& config);
+
+ private:
+  Balancer& balancer_;
+};
+
+/// Formats a candidate like "cpus[0,2,3,1] prio[4,4,6,6]".
+[[nodiscard]] std::string describe(const AdvisorCandidate& candidate);
+
+}  // namespace smtbal::core

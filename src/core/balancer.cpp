@@ -1,0 +1,42 @@
+#include "core/balancer.hpp"
+
+namespace smtbal::core {
+
+namespace {
+
+bool same_chip(const smt::ChipConfig& a, const smt::ChipConfig& b) {
+  return a.num_cores == b.num_cores && a.frequency_ghz == b.frequency_ghz &&
+         a.core.decode_width == b.core.decode_width &&
+         a.core.issue_width == b.core.issue_width &&
+         a.core.gct_entries == b.core.gct_entries &&
+         a.core.per_thread_inflight == b.core.per_thread_inflight &&
+         a.core.group_break_prob == b.core.group_break_prob &&
+         a.core.work_conserving_decode == b.core.work_conserving_decode &&
+         a.core.mispredict_penalty == b.core.mispredict_penalty;
+}
+
+}  // namespace
+
+Balancer::Balancer(mpisim::EngineConfig config)
+    : config_(std::move(config)),
+      sampler_(std::make_shared<smt::ThroughputSampler>(config_.chip,
+                                                        config_.sampler)) {}
+
+mpisim::RunResult Balancer::run(const mpisim::Application& app,
+                                const mpisim::Placement& placement,
+                                mpisim::BalancePolicy* policy) {
+  mpisim::Engine engine(app, placement, config_, sampler_);
+  if (policy != nullptr) engine.set_policy(policy);
+  return engine.run();
+}
+
+void Balancer::set_config(mpisim::EngineConfig config) {
+  const bool keep_sampler = same_chip(config.chip, config_.chip);
+  config_ = std::move(config);
+  if (!keep_sampler) {
+    sampler_ = std::make_shared<smt::ThroughputSampler>(config_.chip,
+                                                        config_.sampler);
+  }
+}
+
+}  // namespace smtbal::core

@@ -1,0 +1,45 @@
+// Top-level library facade: run an MPI application on the simulated
+// POWER5 node under a balancing policy and collect the paper's metrics.
+//
+// Quickstart:
+//   core::Balancer balancer;                        // default chip + kernel
+//   auto app = workloads::build_metbench({});       // an MPI application
+//   auto placement = mpisim::Placement::identity(app.size());
+//   core::StaticPriorityPolicy policy({4, 6, 4, 6});
+//   auto result = balancer.run(app, placement, &policy);
+//   std::cout << result.exec_time << " " << result.imbalance;
+//
+// Balancer keeps one ThroughputSampler alive across runs, so every
+// distinct chip configuration is cycle-simulated exactly once regardless
+// of how many cases an experiment sweeps.
+#pragma once
+
+#include <memory>
+
+#include "mpisim/engine.hpp"
+
+namespace smtbal::core {
+
+class Balancer {
+ public:
+  explicit Balancer(mpisim::EngineConfig config = {});
+
+  /// Simulates one run; `policy` may be null (hardware defaults, the
+  /// paper's reference cases).
+  mpisim::RunResult run(const mpisim::Application& app,
+                        const mpisim::Placement& placement,
+                        mpisim::BalancePolicy* policy = nullptr);
+
+  [[nodiscard]] const mpisim::EngineConfig& config() const { return config_; }
+  [[nodiscard]] smt::ThroughputSampler& sampler() { return *sampler_; }
+
+  /// Replaces the engine configuration. Keeps the sampler only if the
+  /// chip model is unchanged (same memoisation domain).
+  void set_config(mpisim::EngineConfig config);
+
+ private:
+  mpisim::EngineConfig config_;
+  std::shared_ptr<smt::ThroughputSampler> sampler_;
+};
+
+}  // namespace smtbal::core

@@ -1,0 +1,108 @@
+#include "core/dynamic_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smtbal::core {
+
+void DynamicBalancerConfig::validate() const {
+  SMTBAL_REQUIRE(high_priority >= 2 && high_priority <= 6,
+                 "high_priority must be in 2..6");
+  SMTBAL_REQUIRE(max_diff >= 1 && max_diff < high_priority,
+                 "max_diff must be >= 1 and leave a valid low priority");
+  SMTBAL_REQUIRE(wait_gap_threshold > 0.0 && wait_gap_threshold < 1.0,
+                 "wait_gap_threshold must be in (0,1)");
+  SMTBAL_REQUIRE(smoothing > 0.0 && smoothing <= 1.0,
+                 "smoothing must be in (0,1]");
+  SMTBAL_REQUIRE(warmup_epochs >= 0, "warmup_epochs must be >= 0");
+}
+
+DynamicBalancer::DynamicBalancer(DynamicBalancerConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void DynamicBalancer::on_start(mpisim::EngineControl& control) {
+  smoothed_wait_.assign(control.num_ranks(), 0.0);
+  gap_of_core_.clear();
+  last_epoch_time_ = 0.0;
+  for (std::size_t r = 0; r < control.num_ranks(); ++r) {
+    control.set_rank_priority(RankId{static_cast<std::uint32_t>(r)},
+                              smt::level(smt::kDefaultPriority));
+  }
+}
+
+void DynamicBalancer::apply_gap(mpisim::EngineControl& control,
+                                std::size_t first, std::size_t second,
+                                int gap) {
+  int prio_first = smt::level(smt::kDefaultPriority);
+  int prio_second = smt::level(smt::kDefaultPriority);
+  if (gap > 0) {
+    prio_first = config_.high_priority;
+    prio_second = config_.high_priority - gap;
+  } else if (gap < 0) {
+    prio_second = config_.high_priority;
+    prio_first = config_.high_priority + gap;
+  }
+  const RankId a{static_cast<std::uint32_t>(first)};
+  const RankId b{static_cast<std::uint32_t>(second)};
+  if (control.rank_priority(a) != prio_first) {
+    control.set_rank_priority(a, prio_first);
+    ++adjustments_;
+  }
+  if (control.rank_priority(b) != prio_second) {
+    control.set_rank_priority(b, prio_second);
+    ++adjustments_;
+  }
+}
+
+void DynamicBalancer::on_epoch(mpisim::EngineControl& control,
+                               const mpisim::EpochReport& report) {
+  SMTBAL_CHECK(report.ranks.size() == smoothed_wait_.size());
+
+  const SimTime window = report.now - last_epoch_time_;
+  last_epoch_time_ = report.now;
+  if (window <= 0.0) return;
+
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const double wait_fraction =
+        std::clamp(report.ranks[r].wait / window, 0.0, 1.0);
+    smoothed_wait_[r] = config_.smoothing * wait_fraction +
+                        (1.0 - config_.smoothing) * smoothed_wait_[r];
+  }
+  if (report.epoch <= config_.warmup_epochs) return;
+
+  // Group ranks per core; only full pairs are balanced.
+  std::map<std::uint32_t, std::vector<std::size_t>> ranks_by_core;
+  const mpisim::Placement& placement = control.placement();
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    ranks_by_core[placement.cpu_of_rank[r].core.value()].push_back(r);
+  }
+
+  for (const auto& [core, ranks] : ranks_by_core) {
+    if (ranks.size() != 2) continue;
+    const std::size_t a = ranks[0];
+    const std::size_t b = ranks[1];
+    // A context reading priority 0 hosts no process any more (the rank
+    // exited and the idle loop shut the thread off): nothing to balance.
+    if (control.rank_priority(RankId{static_cast<std::uint32_t>(a)}) == 0 ||
+        control.rank_priority(RankId{static_cast<std::uint32_t>(b)}) == 0) {
+      continue;
+    }
+    int& gap = gap_of_core_[core];
+
+    // Positive signal: rank a waits more than rank b, so b is the
+    // bottleneck and the gap should move in b's favour (downward).
+    const double signal = smoothed_wait_[a] - smoothed_wait_[b];
+    if (signal > config_.wait_gap_threshold) {
+      gap = std::max(gap - 1, -config_.max_diff);
+    } else if (signal < -config_.wait_gap_threshold) {
+      gap = std::min(gap + 1, config_.max_diff);
+    }
+    apply_gap(control, a, b, gap);
+  }
+}
+
+}  // namespace smtbal::core

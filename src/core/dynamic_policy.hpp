@@ -1,0 +1,71 @@
+// Dynamic per-iteration balancer — the paper's proposed future work
+// (§VII-C, §VIII), implemented.
+//
+// The paper observes that SIESTA's bottleneck rank changes from iteration
+// to iteration, so a static priority assignment can only capture the
+// average behaviour ("a good balancing mechanism would prioritize P1 in
+// the i-th and P4 in the (i+1)-th iteration"). This policy reacts at
+// every synchronisation epoch using the *wait-time gap* of the two ranks
+// sharing each core as its control signal: the rank that waits less is
+// the core's bottleneck, so the priority gap is stepped by one level in
+// its favour; when both ranks wait about equally the gap is stepped back
+// toward zero. Using wait time (not compute time) makes the controller
+// convergent: once balanced, the signal vanishes and priorities stop
+// moving. The gap is clamped to `max_diff` — the paper's Case D shows
+// the super-linear penalty of over-prioritising.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mpisim/hooks.hpp"
+#include "mpisim/phase.hpp"
+
+namespace smtbal::core {
+
+struct DynamicBalancerConfig {
+  /// Priority of a core's favored rank while a gap is applied.
+  int high_priority = 6;
+  /// Maximum priority gap. The conservative default of 1 follows the
+  /// paper's Case D lesson: the starved thread's penalty grows
+  /// super-linearly with the gap, so an adaptive policy should widen it
+  /// only when it can also observe the result.
+  int max_diff = 1;
+  /// Minimum smoothed wait-fraction difference before stepping the gap.
+  double wait_gap_threshold = 0.12;
+  /// Exponential smoothing for per-rank wait fractions (1 = last epoch
+  /// only).
+  double smoothing = 0.5;
+  /// Epochs to observe before the first adjustment.
+  int warmup_epochs = 1;
+
+  void validate() const;
+};
+
+class DynamicBalancer final : public mpisim::BalancePolicy {
+ public:
+  explicit DynamicBalancer(DynamicBalancerConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "dynamic"; }
+
+  void on_start(mpisim::EngineControl& control) override;
+  void on_epoch(mpisim::EngineControl& control,
+                const mpisim::EpochReport& report) override;
+
+  /// Number of priority rewrites performed so far.
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+ private:
+  void apply_gap(mpisim::EngineControl& control, std::size_t first,
+                 std::size_t second, int gap);
+
+  DynamicBalancerConfig config_;
+  std::vector<double> smoothed_wait_;  ///< wait fraction per rank
+  /// Current signed gap per core: >0 favours the lower-numbered rank of
+  /// the pair, <0 the higher-numbered one.
+  std::map<std::uint32_t, int> gap_of_core_;
+  SimTime last_epoch_time_ = 0.0;
+  std::uint64_t adjustments_ = 0;
+};
+
+}  // namespace smtbal::core

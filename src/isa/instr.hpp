@@ -1,0 +1,63 @@
+// Micro-operation model consumed by the SMT core pipeline.
+//
+// The simulator does not execute a real ISA; workloads are characterised as
+// statistical instruction streams (op-class mix, dependency distances,
+// memory footprint, branch behaviour), which is all the POWER5 priority
+// mechanism is sensitive to: decode-slot demand and shared-resource
+// occupancy.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace smtbal::isa {
+
+/// POWER5-style execution-unit classes. FXU = fixed point, FPU = floating
+/// point, LSU = load/store, BRU = branch.
+enum class OpClass : std::uint8_t {
+  kFixed = 0,
+  kFloat = 1,
+  kLoad = 2,
+  kStore = 3,
+  kBranch = 4,
+};
+
+inline constexpr int kNumOpClasses = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(OpClass cls) {
+  switch (cls) {
+    case OpClass::kFixed: return "FXU";
+    case OpClass::kFloat: return "FPU";
+    case OpClass::kLoad: return "LD";
+    case OpClass::kStore: return "ST";
+    case OpClass::kBranch: return "BR";
+  }
+  return "?";
+}
+
+/// One decoded micro-operation.
+struct MicroOp {
+  OpClass cls = OpClass::kFixed;
+
+  /// Execution latency in cycles once issued (memory ops: overridden by the
+  /// cache hierarchy's access latency).
+  std::uint8_t exec_latency = 1;
+
+  /// Register dependency: this op cannot issue until the op decoded
+  /// `dep_dist` positions earlier (same thread) has completed. 0 means no
+  /// dependency (independent op).
+  std::uint16_t dep_dist = 0;
+
+  /// Byte address touched by loads/stores; ignored for other classes.
+  std::uint64_t address = 0;
+
+  /// True for a branch the front-end mispredicts: decode of younger ops
+  /// stalls until this branch resolves (redirect penalty is implicit).
+  bool mispredicted = false;
+
+  [[nodiscard]] constexpr bool is_memory() const {
+    return cls == OpClass::kLoad || cls == OpClass::kStore;
+  }
+};
+
+}  // namespace smtbal::isa

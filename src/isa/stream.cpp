@@ -1,0 +1,78 @@
+#include "isa/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smtbal::isa {
+
+StreamGen::StreamGen(const Kernel& kernel, std::uint64_t seed)
+    : kernel_id_(kernel.id), params_(kernel.params), rng_(seed) {
+  params_.validate();
+  double acc = 0.0;
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    acc += params_.mix[static_cast<std::size_t>(i)];
+    cum_mix_[i] = acc;
+  }
+  // Give each stream its own address-space slice so that two ranks running
+  // the same kernel do not share data in the cache model (MPI processes
+  // have distinct address spaces).
+  std::uint64_t s = seed;
+  base_ = (splitmix64(s) << 20) & ~std::uint64_t{0xFFFFF};
+}
+
+OpClass StreamGen::pick_class() {
+  const double u = rng_.uniform();
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    if (u < cum_mix_[i]) return static_cast<OpClass>(i);
+  }
+  return OpClass::kFixed;
+}
+
+std::uint64_t StreamGen::next_address() {
+  if (params_.random_access_fraction > 0.0 &&
+      rng_.chance(params_.random_access_fraction)) {
+    cursor_ = rng_.below(params_.working_set_bytes);
+  } else {
+    cursor_ = (cursor_ + params_.stride_bytes) % params_.working_set_bytes;
+  }
+  return base_ + cursor_;
+}
+
+std::uint16_t StreamGen::pick_dep_dist() {
+  if (params_.mean_dep_dist <= 0.0 || !rng_.chance(params_.dep_fraction)) {
+    return 0;
+  }
+  // Geometric distribution with the requested mean, clamped to [1, 64].
+  const double p = 1.0 / params_.mean_dep_dist;
+  const double u = 1.0 - rng_.uniform();
+  const auto dist = static_cast<std::uint16_t>(
+      std::clamp(std::ceil(std::log(u) / std::log(1.0 - p)), 1.0, 64.0));
+  return dist;
+}
+
+MicroOp StreamGen::next() {
+  MicroOp op;
+  op.cls = pick_class();
+  op.dep_dist = pick_dep_dist();
+  switch (op.cls) {
+    case OpClass::kFixed:
+      op.exec_latency = params_.fxu_latency;
+      break;
+    case OpClass::kFloat:
+      op.exec_latency = params_.fpu_latency;
+      break;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      op.exec_latency = 1;  // replaced by the cache access latency
+      op.address = next_address();
+      break;
+    case OpClass::kBranch:
+      op.exec_latency = 1;
+      op.mispredicted = rng_.chance(params_.branch_mispredict_rate);
+      break;
+  }
+  ++generated_;
+  return op;
+}
+
+}  // namespace smtbal::isa

@@ -1,0 +1,44 @@
+// Deterministic synthetic instruction-stream generator.
+//
+// Given a Kernel and a seed, StreamGen produces an endless, reproducible
+// sequence of MicroOps matching the kernel's statistical description. Two
+// generators with the same (kernel, seed) produce identical streams, which
+// makes every experiment in the benchmark harness exactly repeatable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::isa {
+
+class StreamGen {
+ public:
+  StreamGen(const Kernel& kernel, std::uint64_t seed);
+
+  /// Produces the next micro-op of the stream.
+  [[nodiscard]] MicroOp next();
+
+  [[nodiscard]] KernelId kernel_id() const { return kernel_id_; }
+  [[nodiscard]] const KernelParams& params() const { return params_; }
+  [[nodiscard]] InstrCount generated() const { return generated_; }
+
+ private:
+  [[nodiscard]] OpClass pick_class();
+  [[nodiscard]] std::uint64_t next_address();
+  [[nodiscard]] std::uint16_t pick_dep_dist();
+
+  KernelId kernel_id_;
+  KernelParams params_;
+  Rng rng_;
+  std::uint64_t cursor_ = 0;   // current position in the working set
+  std::uint64_t base_ = 0;     // base address (distinct per stream)
+  InstrCount generated_ = 0;
+  // Cumulative mix thresholds for class selection.
+  double cum_mix_[kNumOpClasses] = {};
+};
+
+}  // namespace smtbal::isa

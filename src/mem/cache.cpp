@@ -1,0 +1,94 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace smtbal::mem {
+
+void CacheConfig::validate() const {
+  SMTBAL_REQUIRE(line_bytes > 0 && std::has_single_bit(line_bytes),
+                 "cache line size must be a power of two");
+  SMTBAL_REQUIRE(associativity > 0, "associativity must be positive");
+  SMTBAL_REQUIRE(size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                               associativity) ==
+                     0,
+                 "cache size must be a multiple of line*assoc");
+  SMTBAL_REQUIRE(std::has_single_bit(num_sets()),
+                 "number of sets must be a power of two");
+}
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  config_.validate();
+  lines_.resize(config_.num_sets() * config_.associativity);
+}
+
+std::uint64_t Cache::set_index(std::uint64_t address) const {
+  return (address / config_.line_bytes) & (config_.num_sets() - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t address) const {
+  return (address / config_.line_bytes) / config_.num_sets();
+}
+
+bool Cache::access(std::uint64_t address, bool is_write) {
+  const std::uint64_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Line* const begin = &lines_[set * config_.associativity];
+  Line* const end = begin + config_.associativity;
+
+  for (Line* line = begin; line != end; ++line) {
+    if (line->valid && line->tag == tag) {
+      line->lru = ++lru_clock_;
+      line->dirty = line->dirty || is_write;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  // Choose a victim: an invalid way if any, else the LRU way.
+  Line* victim = begin;
+  for (Line* line = begin; line != end; ++line) {
+    if (!line->valid) {
+      victim = line;
+      break;
+    }
+    if (line->lru < victim->lru) victim = line;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++lru_clock_;
+  return false;
+}
+
+bool Cache::probe(std::uint64_t address) const {
+  const std::uint64_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  const Line* begin = &lines_[set * config_.associativity];
+  const Line* end = begin + config_.associativity;
+  for (const Line* line = begin; line != end; ++line) {
+    if (line->valid && line->tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line = Line{};
+  lru_clock_ = 0;
+}
+
+std::uint64_t Cache::valid_lines() const {
+  std::uint64_t count = 0;
+  for (const Line& line : lines_) {
+    if (line.valid) ++count;
+  }
+  return count;
+}
+
+}  // namespace smtbal::mem

@@ -1,0 +1,80 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// The model tracks tags only (no data): the simulator needs hit/miss
+// decisions and latencies, not values. Write-back/write-allocate policy;
+// dirty evictions are counted but (as on real hardware) their write-back
+// happens off the load's critical path, so they do not add latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smtbal::mem {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 128;   // POWER5 L1 line
+  std::uint32_t associativity = 4;
+  std::uint32_t hit_latency = 2;    // cycles
+
+  void validate() const;
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * associativity);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double miss_rate() const {
+    return accesses() ? static_cast<double>(misses) / static_cast<double>(accesses())
+                      : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Looks up `address`; on miss, fills the line (evicting LRU if needed).
+  /// Returns true on hit. `is_write` marks the line dirty.
+  bool access(std::uint64_t address, bool is_write);
+
+  /// Lookup without fill or LRU update (used by tests and the hierarchy's
+  /// inclusive-content probes).
+  [[nodiscard]] bool probe(std::uint64_t address) const;
+
+  /// Invalidates every line (e.g. between sampling windows).
+  void flush();
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Number of currently valid lines (for occupancy tests).
+  [[nodiscard]] std::uint64_t valid_lines() const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;   // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t address) const;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t address) const;
+
+  CacheConfig config_;
+  std::vector<Line> lines_;   // sets_ * associativity, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace smtbal::mem

@@ -1,0 +1,72 @@
+#include "mem/hierarchy.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::mem {
+
+void HierarchyConfig::validate() const {
+  SMTBAL_REQUIRE(num_cores > 0, "hierarchy needs at least one core");
+  l1d.validate();
+  l2.validate();
+  l3.validate();
+  SMTBAL_REQUIRE(l1d.line_bytes == l2.line_bytes && l2.line_bytes == l3.line_bytes,
+                 "all cache levels must share the line size");
+}
+
+Hierarchy::Hierarchy(HierarchyConfig config)
+    : config_(std::move(config)),
+      l2_(config_.l2),
+      l3_(config_.l3) {
+  config_.validate();
+  l1d_.reserve(config_.num_cores);
+  for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+    CacheConfig cfg = config_.l1d;
+    cfg.name = "L1D-core" + std::to_string(c);
+    l1d_.emplace_back(cfg);
+  }
+}
+
+AccessResult Hierarchy::access(std::uint32_t core, std::uint64_t address,
+                               bool is_write) {
+  SMTBAL_REQUIRE(core < l1d_.size(), "core index out of range");
+  AccessResult result;
+  result.latency = config_.l1d.hit_latency;
+
+  if (l1d_[core].access(address, is_write)) {
+    result.level = 1;
+    return result;
+  }
+  result.latency += config_.l2.hit_latency;
+  if (l2_.access(address, is_write)) {
+    result.level = 2;
+    return result;
+  }
+  result.latency += config_.l3.hit_latency;
+  if (l3_.access(address, is_write)) {
+    result.level = 3;
+    return result;
+  }
+  result.latency += config_.memory_latency;
+  result.level = 4;
+  ++memory_accesses_;
+  return result;
+}
+
+void Hierarchy::reset() {
+  for (Cache& cache : l1d_) {
+    cache.flush();
+    cache.reset_stats();
+  }
+  l2_.flush();
+  l2_.reset_stats();
+  l3_.flush();
+  l3_.reset_stats();
+  memory_accesses_ = 0;
+}
+
+const Cache& Hierarchy::l1d(std::uint32_t core) const {
+  SMTBAL_REQUIRE(core < l1d_.size(), "core index out of range");
+  return l1d_[core];
+}
+
+}  // namespace smtbal::mem

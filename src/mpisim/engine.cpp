@@ -1,0 +1,595 @@
+#include "mpisim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace smtbal::mpisim {
+
+namespace {
+
+constexpr double kInstrEps = 1e-6;
+constexpr SimTime kTimeEps = 1e-12;
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+enum class RunState : std::uint8_t {
+  kComputing,
+  kDelaying,
+  kAtBarrier,
+  kAtWaitAll,
+  kDone,
+};
+
+std::string_view to_string(RunState state) {
+  switch (state) {
+    case RunState::kComputing: return "computing";
+    case RunState::kDelaying: return "delaying";
+    case RunState::kAtBarrier: return "at-barrier";
+    case RunState::kAtWaitAll: return "at-waitall";
+    case RunState::kDone: return "done";
+  }
+  return "?";
+}
+
+struct RecvReq {
+  std::uint32_t peer = 0;
+  int tag = 0;
+  bool matched = false;
+  SimTime arrival = 0.0;
+};
+
+struct RankRt {
+  std::size_t phase = 0;
+  RunState state = RunState::kComputing;
+  double remaining = 0.0;
+  isa::KernelId kernel = 0;
+  trace::RankState compute_traced_as = trace::RankState::kCompute;
+  trace::RankState delay_traced_as = trace::RankState::kStat;
+  SimTime delay_until = 0.0;
+  SimTime ready_at = kInf;  ///< barrier release / waitall completion
+  std::vector<RecvReq> posted;
+  int epochs = 0;
+  // Trace bookkeeping.
+  trace::RankState shown = trace::RankState::kInit;
+  SimTime state_since = 0.0;
+  // Per-epoch accumulators for policy reports.
+  SimTime acc_compute = 0.0;
+  SimTime acc_wait = 0.0;
+};
+
+/// The whole per-run simulation state; Engine::run() builds one, runs it,
+/// and extracts the result.
+class Sim {
+ public:
+  Sim(const Application& app, const Placement& placement,
+      const EngineConfig& config, smt::ThroughputSampler& sampler,
+      os::KernelModel& kernel, const std::vector<Pid>& pids,
+      BalancePolicy* policy, EngineControl& control)
+      : app_(app),
+        placement_(placement),
+        config_(config),
+        sampler_(sampler),
+        kernel_(kernel),
+        pids_(pids),
+        policy_(policy),
+        control_(control),
+        tracer_(app.size()),
+        ranks_(app.size()),
+        spin_kernel_(
+            isa::KernelRegistry::instance().by_name(config.spin_kernel).id) {
+    const std::uint32_t contexts = config_.chip.num_contexts();
+    rank_on_linear_.assign(contexts, -1);
+    preempt_until_.assign(contexts, 0.0);
+    for (std::size_t r = 0; r < app.size(); ++r) {
+      rank_on_linear_[linear_of(r)] = static_cast<int>(r);
+    }
+    if (config_.noise_horizon > 0.0) {
+      noise_ = os::generate_noise(config_.noise, config_.noise_horizon,
+                                  contexts, smt::kThreadsPerCore);
+    }
+  }
+
+  RunResult run();
+
+ private:
+  [[nodiscard]] std::uint32_t linear_of(std::size_t rank) const {
+    return placement_.cpu_of_rank[rank].linear(smt::kThreadsPerCore);
+  }
+  [[nodiscard]] bool preempted(std::size_t rank) const {
+    return preempt_until_[linear_of(rank)] > now_ + kTimeEps;
+  }
+  [[nodiscard]] bool all_done() const {
+    return done_count_ == ranks_.size();
+  }
+
+  [[nodiscard]] trace::RankState base_trace(const RankRt& rt) const {
+    switch (rt.state) {
+      case RunState::kComputing: return rt.compute_traced_as;
+      case RunState::kDelaying: return rt.delay_traced_as;
+      case RunState::kAtBarrier:
+      case RunState::kAtWaitAll: return trace::RankState::kSync;
+      case RunState::kDone: return trace::RankState::kDone;
+    }
+    return trace::RankState::kCompute;
+  }
+
+  void set_trace(std::size_t rank, trace::RankState state) {
+    RankRt& rt = ranks_[rank];
+    if (rt.shown == state) return;
+    if (now_ > rt.state_since && rt.shown != trace::RankState::kDone) {
+      tracer_.record(RankId{static_cast<std::uint32_t>(rank)}, rt.state_since,
+                     now_, rt.shown);
+    }
+    rt.state_since = now_;
+    rt.shown = state;
+  }
+
+  void finish_rank(std::size_t rank) {
+    RankRt& rt = ranks_[rank];
+    rt.state = RunState::kDone;
+    set_trace(rank, trace::RankState::kDone);
+    kernel_.exit_process(pids_[rank]);
+    ++done_count_;
+  }
+
+  /// Matches posted receives against arrived sends; returns true when all
+  /// are matched, in which case `max_arrival` holds the completion time.
+  bool match_all(std::size_t rank, SimTime& max_arrival) {
+    RankRt& rt = ranks_[rank];
+    max_arrival = 0.0;
+    bool all = true;
+    for (RecvReq& req : rt.posted) {
+      if (!req.matched) {
+        const auto key = std::tuple{req.peer, static_cast<std::uint32_t>(rank),
+                                    req.tag};
+        auto it = messages_.find(key);
+        if (it != messages_.end() && !it->second.empty()) {
+          req.matched = true;
+          req.arrival = it->second.front();
+          it->second.pop_front();
+        }
+      }
+      if (req.matched) {
+        max_arrival = std::max(max_arrival, req.arrival);
+      } else {
+        all = false;
+      }
+    }
+    return all;
+  }
+
+  /// A new message for `rank` arrived: if it is blocked in waitall,
+  /// recompute its readiness (and complete it if already due).
+  void notify_receiver(std::size_t rank) {
+    RankRt& rt = ranks_[rank];
+    if (rt.state != RunState::kAtWaitAll) return;
+    SimTime max_arrival = 0.0;
+    if (match_all(rank, max_arrival)) {
+      rt.ready_at = std::max(max_arrival, now_);
+      if (rt.ready_at <= now_ + kTimeEps) complete_block(rank);
+    }
+  }
+
+  /// The rank's blocking condition is satisfied: advance past the phase.
+  void complete_block(std::size_t rank) {
+    RankRt& rt = ranks_[rank];
+    switch (rt.state) {
+      case RunState::kComputing:
+        break;
+      case RunState::kDelaying:
+        break;
+      case RunState::kAtBarrier:
+        ++rt.epochs;
+        break;
+      case RunState::kAtWaitAll:
+        rt.posted.clear();
+        ++rt.epochs;
+        break;
+      case RunState::kDone:
+        return;
+    }
+    rt.ready_at = kInf;
+    ++rt.phase;
+    advance_rank(rank);
+  }
+
+  /// The rank arrives at a global collective; when the last participant
+  /// arrives, everyone is released after `release_cost` (the collective
+  /// sequences are identical across ranks — validated — so every arriver
+  /// passes the same cost).
+  void arrive_collective(std::size_t rank, SimTime release_cost) {
+    RankRt& rt = ranks_[rank];
+    rt.state = RunState::kAtBarrier;
+    rt.ready_at = kInf;
+    set_trace(rank, trace::RankState::kSync);
+    if (++barrier_arrived_ < ranks_.size()) return;
+    barrier_arrived_ = 0;
+    const SimTime release = now_ + release_cost;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      if (ranks_[r].state == RunState::kAtBarrier) {
+        ranks_[r].ready_at = release;
+      }
+    }
+    if (release <= now_ + kTimeEps) {
+      // Zero-cost collectives release instantly.
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        if (ranks_[r].state == RunState::kAtBarrier &&
+            ranks_[r].ready_at <= now_ + kTimeEps) {
+          complete_block(r);
+        }
+      }
+    }
+  }
+
+  /// Executes phases from the rank's cursor until it blocks or finishes.
+  void advance_rank(std::size_t rank) {
+    RankRt& rt = ranks_[rank];
+    const auto& phases = app_.ranks[rank].phases;
+
+    while (true) {
+      if (rt.phase >= phases.size()) {
+        finish_rank(rank);
+        return;
+      }
+      const Phase& phase = phases[rt.phase];
+
+      if (const auto* compute = std::get_if<ComputePhase>(&phase)) {
+        if (compute->instructions <= 0.0) {
+          ++rt.phase;
+          continue;
+        }
+        rt.state = RunState::kComputing;
+        rt.remaining = compute->instructions;
+        rt.kernel = compute->kernel;
+        rt.compute_traced_as = compute->traced_as;
+        set_trace(rank, compute->traced_as);
+        return;
+      }
+      if (std::holds_alternative<BarrierPhase>(phase)) {
+        arrive_collective(rank, config_.barrier_latency);
+        return;
+      }
+      if (const auto* reduce = std::get_if<AllreducePhase>(&phase)) {
+        // Reduce + broadcast over a binomial tree: 2*ceil(log2 N)
+        // point-to-point steps after the last rank arrives.
+        const double n = static_cast<double>(ranks_.size());
+        const double steps = 2.0 * std::ceil(std::log2(std::max(n, 2.0)));
+        const SimTime step_cost = network_.arrival_time(0.0, reduce->bytes);
+        arrive_collective(rank, config_.barrier_latency + steps * step_cost);
+        return;
+      }
+      if (const auto* send = std::get_if<SendPhase>(&phase)) {
+        const auto key = std::tuple{static_cast<std::uint32_t>(rank),
+                                    send->peer.value(), send->tag};
+        messages_[key].push_back(network_.arrival_time(now_, send->bytes));
+        ++rt.phase;
+        notify_receiver(send->peer.value());
+        continue;
+      }
+      if (const auto* recv = std::get_if<RecvPhase>(&phase)) {
+        rt.posted.push_back(RecvReq{recv->peer.value(), recv->tag});
+        ++rt.phase;
+        continue;
+      }
+      if (std::holds_alternative<WaitAllPhase>(phase)) {
+        SimTime max_arrival = 0.0;
+        const bool all = match_all(rank, max_arrival);
+        if (all && max_arrival <= now_ + kTimeEps) {
+          rt.posted.clear();
+          ++rt.epochs;
+          ++rt.phase;
+          continue;
+        }
+        rt.state = RunState::kAtWaitAll;
+        rt.ready_at = all ? std::max(max_arrival, now_) : kInf;
+        set_trace(rank, trace::RankState::kSync);
+        return;
+      }
+      if (const auto* delay = std::get_if<DelayPhase>(&phase)) {
+        if (delay->duration <= 0.0) {
+          ++rt.phase;
+          continue;
+        }
+        rt.state = RunState::kDelaying;
+        rt.delay_until = now_ + delay->duration;
+        rt.delay_traced_as = delay->traced_as;
+        set_trace(rank, delay->traced_as);
+        return;
+      }
+      SMTBAL_CHECK_MSG(false, "unhandled phase variant");
+    }
+  }
+
+  /// Current chip load: what every context runs right now.
+  [[nodiscard]] smt::ChipLoad build_load() const {
+    smt::ChipLoad load;
+    for (std::uint32_t ctx = 0; ctx < config_.chip.num_contexts(); ++ctx) {
+      const CpuId cpu = config_.chip.cpu(ctx);
+      if (!kernel_.process_on(cpu).has_value()) continue;  // idle context
+      const int rank = rank_on_linear_[ctx];
+      SMTBAL_CHECK(rank >= 0);
+      const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+      const bool computing = rt.state == RunState::kComputing &&
+                             !preempted(static_cast<std::size_t>(rank));
+      load.contexts[ctx] = smt::ContextLoad{
+          computing ? rt.kernel : spin_kernel_,
+          kernel_.effective_priority(cpu)};
+    }
+    return load;
+  }
+
+  void advance_time(SimTime t, const smt::SampleResult& rates) {
+    const SimTime dt = t - now_;
+    if (dt <= 0.0) {
+      now_ = std::max(now_, t);
+      return;
+    }
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      RankRt& rt = ranks_[r];
+      switch (rt.state) {
+        case RunState::kComputing:
+          if (!preempted(r)) {
+            rt.remaining -= rates.instr_rate[linear_of(r)] * dt;
+            rt.acc_compute += dt;
+          }
+          break;
+        case RunState::kAtBarrier:
+        case RunState::kAtWaitAll:
+          rt.acc_wait += dt;
+          break;
+        case RunState::kDelaying:
+        case RunState::kDone:
+          break;
+      }
+    }
+    now_ = t;
+  }
+
+  void process_noise() {
+    while (noise_idx_ < noise_.size() &&
+           noise_[noise_idx_].start <= now_ + kTimeEps) {
+      const os::NoiseEvent& event = noise_[noise_idx_++];
+      kernel_.on_interrupt(event.cpu);
+      const std::uint32_t lin = event.cpu.linear(smt::kThreadsPerCore);
+      if (lin >= preempt_until_.size()) continue;
+      preempt_until_[lin] = std::max(preempt_until_[lin], event.end());
+      const int rank = rank_on_linear_[lin];
+      if (rank >= 0 && ranks_[static_cast<std::size_t>(rank)].state !=
+                           RunState::kDone) {
+        set_trace(static_cast<std::size_t>(rank),
+                  trace::RankState::kPreempted);
+      }
+    }
+    // Expire finished preemptions and restore trace states.
+    for (std::uint32_t lin = 0; lin < preempt_until_.size(); ++lin) {
+      if (preempt_until_[lin] > 0.0 && preempt_until_[lin] <= now_ + kTimeEps) {
+        preempt_until_[lin] = 0.0;
+        const int rank = rank_on_linear_[lin];
+        if (rank >= 0) {
+          const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+          if (rt.state != RunState::kDone) {
+            set_trace(static_cast<std::size_t>(rank), base_trace(rt));
+          }
+        }
+      }
+    }
+  }
+
+  void check_epochs() {
+    // Finished ranks hold their final epoch count, so the global epoch
+    // keeps advancing (and the last epoch gets reported) as ranks exit.
+    int min_epochs = std::numeric_limits<int>::max();
+    for (const RankRt& rt : ranks_) {
+      min_epochs = std::min(min_epochs, rt.epochs);
+    }
+    if (min_epochs == std::numeric_limits<int>::max() ||
+        min_epochs <= reported_epochs_) {
+      return;
+    }
+    reported_epochs_ = min_epochs;
+
+    EpochReport report;
+    report.epoch = reported_epochs_;
+    report.now = now_;
+    report.ranks.reserve(ranks_.size());
+    for (RankRt& rt : ranks_) {
+      report.ranks.push_back(RankEpochStats{rt.acc_compute, rt.acc_wait});
+      rt.acc_compute = 0.0;
+      rt.acc_wait = 0.0;
+    }
+    if (policy_ != nullptr) policy_->on_epoch(control_, report);
+  }
+
+  [[noreturn]] void deadlock() const {
+    std::ostringstream os;
+    os << "MPI application deadlocked at t=" << now_ << "s; rank states:";
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      os << " P" << (r + 1) << "=" << to_string(ranks_[r].state)
+         << "(phase " << ranks_[r].phase << ")";
+    }
+    throw SimulationError(os.str());
+  }
+
+  const Application& app_;
+  const Placement& placement_;
+  const EngineConfig& config_;
+  smt::ThroughputSampler& sampler_;
+  os::KernelModel& kernel_;
+  const std::vector<Pid>& pids_;
+  BalancePolicy* policy_;
+  EngineControl& control_;
+
+  trace::Tracer tracer_;
+  std::vector<RankRt> ranks_;
+  isa::KernelId spin_kernel_;
+  Network network_{NetworkConfig{}};
+  std::vector<int> rank_on_linear_;
+  std::vector<SimTime> preempt_until_;
+  std::vector<os::NoiseEvent> noise_;
+  std::size_t noise_idx_ = 0;
+  std::map<std::tuple<std::uint32_t, std::uint32_t, int>, std::deque<SimTime>>
+      messages_;
+  std::size_t barrier_arrived_ = 0;
+  std::size_t done_count_ = 0;
+  int reported_epochs_ = 0;
+  SimTime now_ = 0.0;
+  std::uint64_t events_ = 0;
+};
+
+RunResult Sim::run() {
+  network_ = Network(config_.network);
+
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r].state != RunState::kDone) advance_rank(r);
+  }
+  check_epochs();
+
+  while (!all_done()) {
+    SMTBAL_CHECK_MSG(++events_ <= config_.max_events,
+                     "engine exceeded max_events — runaway simulation?");
+    SMTBAL_CHECK_MSG(now_ <= config_.max_sim_time,
+                     "engine exceeded max_sim_time");
+
+    const smt::ChipLoad load = build_load();
+    const smt::SampleResult& rates = sampler_.sample(load);
+
+    SimTime next = kInf;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const RankRt& rt = ranks_[r];
+      switch (rt.state) {
+        case RunState::kComputing:
+          if (!preempted(r)) {
+            const double rate = rates.instr_rate[linear_of(r)];
+            if (rate > 0.0) next = std::min(next, now_ + rt.remaining / rate);
+          }
+          break;
+        case RunState::kDelaying:
+          next = std::min(next, rt.delay_until);
+          break;
+        case RunState::kAtBarrier:
+        case RunState::kAtWaitAll:
+          next = std::min(next, rt.ready_at);
+          break;
+        case RunState::kDone:
+          break;
+      }
+    }
+    if (noise_idx_ < noise_.size()) {
+      next = std::min(next, noise_[noise_idx_].start);
+    }
+    for (const SimTime until : preempt_until_) {
+      if (until > now_ + kTimeEps) next = std::min(next, until);
+    }
+
+    if (!(next < kInf)) deadlock();
+
+    advance_time(std::max(next, now_), rates);
+    process_noise();
+
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      RankRt& rt = ranks_[r];
+      switch (rt.state) {
+        case RunState::kComputing:
+          // A residual worth less than a nanosecond of work is rounding
+          // noise from the remaining -= rate*dt updates, not real work.
+          if (!preempted(r) &&
+              (rt.remaining <= kInstrEps ||
+               rt.remaining <= rates.instr_rate[linear_of(r)] * 1e-9)) {
+            complete_block(r);
+          }
+          break;
+        case RunState::kDelaying:
+          if (rt.delay_until <= now_ + kTimeEps) complete_block(r);
+          break;
+        case RunState::kAtBarrier:
+        case RunState::kAtWaitAll:
+          if (rt.ready_at <= now_ + kTimeEps) complete_block(r);
+          break;
+        case RunState::kDone:
+          break;
+      }
+    }
+    check_epochs();
+  }
+
+  // Flush trailing trace intervals and close the trace.
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    set_trace(r, trace::RankState::kDone);
+  }
+  tracer_.finish(now_);
+
+  const double imbalance = tracer_.imbalance();
+  return RunResult{std::move(tracer_), now_,    imbalance,
+                   events_,            kernel_.priority_resets(),
+                   sampler_.stats()};
+}
+
+}  // namespace
+
+Engine::Engine(Application app, Placement placement, EngineConfig config)
+    : Engine(std::move(app), std::move(placement), config,
+             std::make_shared<smt::ThroughputSampler>(config.chip,
+                                                      config.sampler)) {}
+
+Engine::Engine(Application app, Placement placement, EngineConfig config,
+               std::shared_ptr<smt::ThroughputSampler> sampler)
+    : app_(std::move(app)),
+      placement_(std::move(placement)),
+      config_(std::move(config)),
+      sampler_(std::move(sampler)),
+      kernel_(config_.kernel_flavor, config_.chip) {
+  SMTBAL_REQUIRE(sampler_ != nullptr, "sampler must not be null");
+  SMTBAL_REQUIRE(placement_.cpu_of_rank.size() == app_.size(),
+                 "placement size must match rank count");
+  app_.validate();
+}
+
+void Engine::set_rank_priority(RankId rank, int priority) {
+  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(),
+                 "set_rank_priority is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  const Pid pid = pid_of_rank_[rank.value()];
+  // A rank that already exited has no process to re-prioritise (its
+  // /proc/<pid>/hmt_priority file is gone); ignore, as a userspace
+  // balancer racing process exit would experience.
+  const CpuId cpu = placement_.cpu_of_rank[rank.value()];
+  if (kernel_.process_on(cpu) != std::optional<Pid>(pid)) return;
+  if (kernel_.flavor() == os::KernelFlavor::kPatched) {
+    kernel_.write_hmt_priority(pid, priority);
+  } else {
+    // Vanilla kernel: userspace can only use the or-nop interface, which
+    // is limited to priorities 2..4 (paper Table I).
+    kernel_.set_priority_ornop(pid, smt::priority_from_int(priority),
+                               smt::PrivilegeLevel::kUser);
+  }
+}
+
+int Engine::rank_priority(RankId rank) const {
+  SMTBAL_REQUIRE(rank.value() < placement_.cpu_of_rank.size(),
+                 "rank out of range");
+  return smt::level(
+      kernel_.effective_priority(placement_.cpu_of_rank[rank.value()]));
+}
+
+RunResult Engine::run() {
+  SMTBAL_REQUIRE(!ran_, "Engine::run() may be called only once");
+  ran_ = true;
+
+  for (std::size_t r = 0; r < app_.size(); ++r) {
+    pid_of_rank_.push_back(kernel_.spawn(placement_.cpu_of_rank[r]));
+  }
+  if (policy_ != nullptr) policy_->on_start(*this);
+
+  Sim sim(app_, placement_, config_, *sampler_, kernel_, pid_of_rank_,
+          policy_, *this);
+  return sim.run();
+}
+
+}  // namespace smtbal::mpisim

@@ -1,0 +1,89 @@
+// Discrete-event MPI application engine, co-simulated with the SMT chip.
+//
+// The engine advances a set of rank programs through piecewise-constant-
+// rate integration: whenever any context's (kernel, priority) pair
+// changes — a rank blocks in MPI, a priority is rewritten, a noise event
+// preempts a CPU — the per-context instruction rates are re-derived from
+// the cycle-level chip model via the memoising ThroughputSampler, and the
+// next event time is computed analytically. A blocked rank busy-waits
+// (MPICH's progress loop), so it keeps occupying its SMT context with the
+// spin kernel — the very reason hardware priorities help.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "mpisim/hooks.hpp"
+#include "mpisim/network.hpp"
+#include "mpisim/phase.hpp"
+#include "os/kernel.hpp"
+#include "os/noise.hpp"
+#include "smt/sampler.hpp"
+#include "trace/tracer.hpp"
+
+namespace smtbal::mpisim {
+
+struct EngineConfig {
+  smt::ChipConfig chip;
+  smt::ThroughputSampler::Options sampler{};
+  os::KernelFlavor kernel_flavor = os::KernelFlavor::kPatched;
+  NetworkConfig network{};
+  /// OS noise injection; silent by default (the paper's tables measure
+  /// intrinsic imbalance). Set noise_horizon > 0 to enable.
+  os::NoiseConfig noise = os::NoiseConfig::silent();
+  SimTime noise_horizon = 0.0;
+  /// Collective release cost after the last rank arrives.
+  SimTime barrier_latency = 2e-6;
+  /// Kernel a blocked rank runs in its busy-wait loop.
+  std::string spin_kernel = std::string(isa::kKernelSpinWait);
+  /// Runaway guards.
+  SimTime max_sim_time = 1e6;
+  std::uint64_t max_events = 10'000'000;
+};
+
+struct RunResult {
+  trace::Tracer trace;
+  SimTime exec_time = 0.0;
+  double imbalance = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t priority_resets = 0;
+  smt::SamplerStats sampler_stats;
+};
+
+class Engine final : public EngineControl {
+ public:
+  /// Builds an engine with its own sampler.
+  Engine(Application app, Placement placement, EngineConfig config = {});
+
+  /// Builds an engine sharing a sampler with other runs of the same chip
+  /// configuration (keeps the cycle-level memoisation warm across cases).
+  Engine(Application app, Placement placement, EngineConfig config,
+         std::shared_ptr<smt::ThroughputSampler> sampler);
+
+  /// Installs a balancing policy (non-owning; must outlive run()).
+  void set_policy(BalancePolicy* policy) { policy_ = policy; }
+
+  /// Runs the application to completion and returns the trace + metrics.
+  /// May be called once per Engine.
+  RunResult run();
+
+  // --- EngineControl --------------------------------------------------------
+  void set_rank_priority(RankId rank, int priority) override;
+  [[nodiscard]] int rank_priority(RankId rank) const override;
+  [[nodiscard]] const Placement& placement() const override { return placement_; }
+  [[nodiscard]] std::size_t num_ranks() const override { return app_.size(); }
+  [[nodiscard]] os::KernelModel& kernel() override { return kernel_; }
+
+ private:
+  Application app_;
+  Placement placement_;
+  EngineConfig config_;
+  std::shared_ptr<smt::ThroughputSampler> sampler_;
+  os::KernelModel kernel_;
+  BalancePolicy* policy_ = nullptr;
+  std::vector<Pid> pid_of_rank_;
+  bool ran_ = false;
+};
+
+}  // namespace smtbal::mpisim

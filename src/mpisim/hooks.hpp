@@ -1,0 +1,69 @@
+// Balancing-policy hook interface.
+//
+// The engine exposes two integration points to a policy:
+//   * on_start  — before the first phase executes (set initial priorities;
+//                 the paper's static approach lives entirely here)
+//   * on_epoch  — every time all ranks have completed one more global
+//                 synchronisation epoch (barrier or waitall), with the
+//                 per-rank compute/wait times of the epoch. This is where
+//                 the dynamic balancer (the paper's proposed future work,
+//                 implemented in src/core) reacts.
+//
+// Policies change priorities exclusively through the patched kernel's
+// /proc/<pid>/hmt_priority interface, exactly as a userspace balancer on
+// the paper's machine would.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "os/kernel.hpp"
+#include "smt/priority.hpp"
+
+namespace smtbal::mpisim {
+
+struct Placement;
+
+struct RankEpochStats {
+  SimTime compute = 0.0;  ///< time spent computing during the epoch
+  SimTime wait = 0.0;     ///< time spent blocked in MPI during the epoch
+};
+
+struct EpochReport {
+  int epoch = 0;         ///< 1-based count of completed epochs
+  SimTime now = 0.0;     ///< simulation time at the epoch boundary
+  std::vector<RankEpochStats> ranks;
+};
+
+/// The engine-side control surface offered to policies.
+class EngineControl {
+ public:
+  virtual ~EngineControl() = default;
+
+  /// Sets a rank's hardware priority through the kernel interface.
+  /// Throws if the kernel refuses (vanilla kernel, out-of-range value).
+  virtual void set_rank_priority(RankId rank, int priority) = 0;
+
+  /// The rank's current effective hardware priority.
+  [[nodiscard]] virtual int rank_priority(RankId rank) const = 0;
+
+  [[nodiscard]] virtual const Placement& placement() const = 0;
+  [[nodiscard]] virtual std::size_t num_ranks() const = 0;
+  [[nodiscard]] virtual os::KernelModel& kernel() = 0;
+};
+
+class BalancePolicy {
+ public:
+  virtual ~BalancePolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  virtual void on_start(EngineControl& control) { (void)control; }
+  virtual void on_epoch(EngineControl& control, const EpochReport& report) {
+    (void)control;
+    (void)report;
+  }
+};
+
+}  // namespace smtbal::mpisim

@@ -1,0 +1,19 @@
+#include "mpisim/network.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::mpisim {
+
+void NetworkConfig::validate() const {
+  SMTBAL_REQUIRE(base_latency >= 0.0, "latency must be non-negative");
+  SMTBAL_REQUIRE(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
+}
+
+Network::Network(NetworkConfig config) : config_(config) { config_.validate(); }
+
+SimTime Network::arrival_time(SimTime send_time, std::uint64_t bytes) const {
+  return send_time + config_.base_latency +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
+}
+
+}  // namespace smtbal::mpisim

@@ -1,0 +1,32 @@
+// Intra-node message transfer model: latency + bandwidth (the paper's
+// experiments run all ranks inside one OpenPower 710 node over MPICH
+// shared-memory transport).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace smtbal::mpisim {
+
+struct NetworkConfig {
+  SimTime base_latency = 2e-6;       ///< per-message software latency
+  double bandwidth_bytes_per_s = 1.5e9;  ///< shared-memory copy bandwidth
+
+  void validate() const;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config);
+
+  /// Arrival time of a message injected at `send_time`.
+  [[nodiscard]] SimTime arrival_time(SimTime send_time, std::uint64_t bytes) const;
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+}  // namespace smtbal::mpisim

@@ -1,0 +1,92 @@
+#include "os/kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::os {
+
+std::string_view to_string(KernelFlavor flavor) {
+  switch (flavor) {
+    case KernelFlavor::kVanilla: return "vanilla-2.6.19";
+    case KernelFlavor::kPatched: return "patched-2.6.19 (hmt_priority)";
+  }
+  return "?";
+}
+
+KernelModel::KernelModel(KernelFlavor flavor, const smt::ChipConfig& chip)
+    : flavor_(flavor),
+      chip_(chip),
+      cpu_priority_(chip.num_contexts(), smt::kDefaultPriority),
+      cpu_process_(chip.num_contexts()) {}
+
+std::size_t KernelModel::index(CpuId cpu) const {
+  const std::uint32_t linear = cpu.linear(smt::kThreadsPerCore);
+  SMTBAL_REQUIRE(linear < cpu_priority_.size(), "CPU out of range");
+  return linear;
+}
+
+Pid KernelModel::spawn(CpuId cpu) {
+  const std::size_t i = index(cpu);
+  SMTBAL_REQUIRE(!cpu_process_[i].has_value(),
+                 "CPU already hosts a pinned process");
+  const Pid pid{next_pid_++};
+  cpu_process_[i] = pid;
+  process_cpu_.emplace(pid, cpu);
+  cpu_priority_[i] = smt::kDefaultPriority;
+  return pid;
+}
+
+void KernelModel::exit_process(Pid pid) {
+  const auto it = process_cpu_.find(pid);
+  SMTBAL_REQUIRE(it != process_cpu_.end(), "unknown pid");
+  const std::size_t i = index(it->second);
+  cpu_process_[i].reset();
+  // The idle loop lowers the priority and eventually shuts the thread off
+  // (paper §VI-A case 3); we model the steady state directly.
+  cpu_priority_[i] = smt::HwPriority::kOff;
+  process_cpu_.erase(it);
+}
+
+std::optional<Pid> KernelModel::process_on(CpuId cpu) const {
+  return cpu_process_[index(cpu)];
+}
+
+CpuId KernelModel::cpu_of(Pid pid) const {
+  const auto it = process_cpu_.find(pid);
+  SMTBAL_REQUIRE(it != process_cpu_.end(), "unknown pid");
+  return it->second;
+}
+
+void KernelModel::set_priority_ornop(Pid pid, smt::HwPriority priority,
+                                     smt::PrivilegeLevel level) {
+  SMTBAL_REQUIRE(smt::can_set(level, priority),
+                 "privilege level cannot set this hardware priority");
+  cpu_priority_[index(cpu_of(pid))] = priority;
+}
+
+void KernelModel::write_hmt_priority(Pid pid, int priority) {
+  SMTBAL_REQUIRE(flavor_ == KernelFlavor::kPatched,
+                 "/proc/<pid>/hmt_priority: no such file (vanilla kernel)");
+  SMTBAL_REQUIRE(priority >= 1 && priority <= 6,
+                 "hmt_priority accepts the OS-settable range 1..6");
+  cpu_priority_[index(cpu_of(pid))] = smt::priority_from_int(priority);
+}
+
+void KernelModel::reset_on_kernel_entry(CpuId cpu) {
+  if (flavor_ != KernelFlavor::kVanilla) return;
+  const std::size_t i = index(cpu);
+  if (!cpu_process_[i].has_value()) return;  // idle context: nothing to reset
+  if (cpu_priority_[i] != smt::kDefaultPriority) {
+    cpu_priority_[i] = smt::kDefaultPriority;
+    ++priority_resets_;
+  }
+}
+
+void KernelModel::on_interrupt(CpuId cpu) { reset_on_kernel_entry(cpu); }
+
+void KernelModel::on_syscall(CpuId cpu) { reset_on_kernel_entry(cpu); }
+
+smt::HwPriority KernelModel::effective_priority(CpuId cpu) const {
+  return cpu_priority_[index(cpu)];
+}
+
+}  // namespace smtbal::os

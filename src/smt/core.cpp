@@ -1,0 +1,259 @@
+#include "smt/core.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace smtbal::smt {
+
+void CoreConfig::validate() const {
+  SMTBAL_REQUIRE(decode_width > 0, "decode_width must be positive");
+  SMTBAL_REQUIRE(issue_width > 0, "issue_width must be positive");
+  SMTBAL_REQUIRE(gct_entries >= decode_width,
+                 "GCT must hold at least one decode group");
+  SMTBAL_REQUIRE(per_thread_inflight > 0, "per_thread_inflight must be positive");
+  SMTBAL_REQUIRE(fxu_units > 0 && fpu_units > 0 && lsu_units > 0 && bru_units > 0,
+                 "every execution-unit class needs at least one unit");
+  SMTBAL_REQUIRE(group_break_prob >= 0.0 && group_break_prob < 1.0,
+                 "group_break_prob must be in [0,1)");
+}
+
+Core::Core(const CoreConfig& config, mem::Hierarchy& hierarchy,
+           std::uint32_t core_index)
+    : config_(config),
+      hierarchy_(hierarchy),
+      core_index_(core_index),
+      arbiter_(kDefaultPriority, kDefaultPriority, config.work_conserving_decode) {
+  config_.validate();
+  SMTBAL_REQUIRE(core_index < hierarchy.config().num_cores,
+                 "core index outside the hierarchy");
+}
+
+void Core::bind_stream(ThreadSlot slot, isa::StreamGen* stream) {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  ThreadState& thread = threads_[slot.value()];
+  thread.stream = stream;
+  // A context switch discards the old context's in-flight work.
+  gct_used_ -= static_cast<std::uint32_t>(thread.window.size());
+  thread.window.clear();
+  thread.mispredict_pending = false;
+  thread.redirect_until = 0;
+  thread.fetch_empty = false;
+  // Deterministic per (core, slot, kernel): two identical configurations
+  // measure identically regardless of sampling order.
+  thread.front_end_rng.reseed(0xFE7C4ULL ^ (std::uint64_t{core_index_} << 20) ^
+                              (std::uint64_t{slot.value()} << 16) ^
+                              (stream != nullptr ? stream->kernel_id() : 0u));
+}
+
+void Core::set_priority(ThreadSlot slot, HwPriority priority) {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  threads_[slot.value()].priority = priority;
+  arbiter_.set_priorities(threads_[0].priority, threads_[1].priority);
+}
+
+HwPriority Core::priority(ThreadSlot slot) const {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  return threads_[slot.value()].priority;
+}
+
+const ThreadPerf& Core::perf(ThreadSlot slot) const {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  return threads_[slot.value()].perf;
+}
+
+void Core::reset_perf() {
+  for (ThreadState& thread : threads_) thread.perf = ThreadPerf{};
+}
+
+void Core::drain() {
+  for (ThreadState& thread : threads_) {
+    thread.window.clear();
+    thread.mispredict_pending = false;
+    thread.redirect_until = 0;
+  }
+  gct_used_ = 0;
+}
+
+bool Core::has_instructions(const ThreadState& thread) const {
+  return thread.stream != nullptr && !thread.mispredict_pending &&
+         now_ >= thread.redirect_until && !thread.fetch_empty;
+}
+
+bool Core::can_decode(const ThreadState& thread) const {
+  return has_instructions(thread) &&
+         thread.window.size() < config_.per_thread_inflight &&
+         gct_used_ < config_.gct_entries;
+}
+
+void Core::decode_thread(ThreadState& thread) {
+  for (std::uint32_t i = 0; i < config_.decode_width; ++i) {
+    if (thread.window.size() >= config_.per_thread_inflight) break;
+    if (gct_used_ >= config_.gct_entries) break;
+
+    InFlight entry;
+    entry.op = thread.stream->next();
+    entry.seq = thread.next_seq++;
+    entry.decode_cycle = now_;
+    thread.window.push_back(entry);
+    ++gct_used_;
+
+    if (entry.op.cls == isa::OpClass::kBranch) {
+      ++thread.perf.branches;
+      if (entry.op.mispredicted) {
+        ++thread.perf.mispredicts;
+        // Front-end redirects: no younger instructions decode until the
+        // branch resolves.
+        thread.mispredict_pending = true;
+        thread.pending_branch_seq = entry.seq;
+      }
+      break;  // a branch is always the last slot of a dispatch group
+    }
+    // Group formation breaks (cracked ops, pairing limits): the group ends
+    // early and the rest of this decode cycle is lost.
+    if (config_.group_break_prob > 0.0 &&
+        thread.front_end_rng.chance(config_.group_break_prob)) {
+      break;
+    }
+  }
+}
+
+bool Core::dep_satisfied(const ThreadState& thread, const InFlight& entry) const {
+  if (entry.op.dep_dist == 0) return true;
+  if (entry.op.dep_dist > entry.seq) return true;  // producer predates window
+  const std::uint64_t producer_seq = entry.seq - entry.op.dep_dist;
+  if (thread.window.empty() || producer_seq < thread.window.front().seq) {
+    return true;  // producer already retired, hence complete
+  }
+  const std::uint64_t index = producer_seq - thread.window.front().seq;
+  const InFlight& producer = thread.window[index];
+  return producer.issued && producer.completion <= now_;
+}
+
+void Core::issue_op(ThreadState& thread, InFlight& entry) {
+  std::uint32_t latency = entry.op.exec_latency;
+  switch (entry.op.cls) {
+    case isa::OpClass::kLoad: {
+      const mem::AccessResult result =
+          hierarchy_.access(core_index_, entry.op.address, /*is_write=*/false);
+      latency = result.latency;
+      ++thread.perf.loads;
+      break;
+    }
+    case isa::OpClass::kStore:
+      // Stores commit through the store queue off the critical path; they
+      // still update the cache contents for sharing/eviction effects.
+      (void)hierarchy_.access(core_index_, entry.op.address, /*is_write=*/true);
+      latency = 1;
+      break;
+    default:
+      break;
+  }
+  entry.issued = true;
+  entry.completion = now_ + std::max<std::uint32_t>(latency, 1);
+
+  if (thread.mispredict_pending && entry.seq == thread.pending_branch_seq) {
+    thread.mispredict_pending = false;
+    thread.redirect_until = entry.completion + config_.mispredict_penalty;
+  }
+}
+
+void Core::issue() {
+  std::uint32_t fxu = config_.fxu_units;
+  std::uint32_t fpu = config_.fpu_units;
+  std::uint32_t lsu = config_.lsu_units;
+  std::uint32_t bru = config_.bru_units;
+  std::uint32_t budget = config_.issue_width;
+
+  // Oldest-first across both contexts: walk the two windows in decode order,
+  // merging by decode cycle (ties broken by alternating start thread so
+  // neither context gets a structural advantage).
+  std::array<std::size_t, kThreadsPerCore> cursor{0, 0};
+  const std::size_t first = static_cast<std::size_t>(now_ % kThreadsPerCore);
+
+  while (budget > 0) {
+    int pick = -1;
+    Cycle best = ~Cycle{0};
+    for (std::size_t i = 0; i < kThreadsPerCore; ++i) {
+      const std::size_t t = (first + i) % kThreadsPerCore;
+      const auto& window = threads_[t].window;
+      // Skip ops that are already issued.
+      while (cursor[t] < window.size() && window[cursor[t]].issued) ++cursor[t];
+      if (cursor[t] >= window.size()) continue;
+      if (window[cursor[t]].decode_cycle < best) {
+        best = window[cursor[t]].decode_cycle;
+        pick = static_cast<int>(t);
+      }
+    }
+    if (pick < 0) break;
+
+    ThreadState& thread = threads_[static_cast<std::size_t>(pick)];
+    InFlight& entry = thread.window[cursor[static_cast<std::size_t>(pick)]];
+    ++cursor[static_cast<std::size_t>(pick)];
+
+    if (!dep_satisfied(thread, entry)) continue;
+
+    std::uint32_t* pool = nullptr;
+    switch (entry.op.cls) {
+      case isa::OpClass::kFixed: pool = &fxu; break;
+      case isa::OpClass::kFloat: pool = &fpu; break;
+      case isa::OpClass::kLoad:
+      case isa::OpClass::kStore: pool = &lsu; break;
+      case isa::OpClass::kBranch: pool = &bru; break;
+    }
+    if (*pool == 0) continue;  // structural hazard; younger ops may still go
+    --*pool;
+    --budget;
+    issue_op(thread, entry);
+  }
+}
+
+void Core::retire(ThreadState& thread) {
+  while (!thread.window.empty()) {
+    const InFlight& front = thread.window.front();
+    if (!front.issued || front.completion > now_) break;
+    thread.window.pop_front();
+    --gct_used_;
+    ++thread.perf.retired;
+  }
+}
+
+void Core::step() {
+  // Retire first so entries completing at `now_` free GCT slots before the
+  // decode stage checks occupancy (completion <= now_ means "done").
+  for (ThreadState& thread : threads_) retire(thread);
+
+  // Draw this cycle's fetch-buffer state for each bound context.
+  for (ThreadState& thread : threads_) {
+    const double gap =
+        thread.stream != nullptr ? thread.stream->params().fetch_gap_fraction : 0.0;
+    thread.fetch_empty = gap > 0.0 && thread.front_end_rng.chance(gap);
+  }
+
+  ThreadSignals sig_a{can_decode(threads_[0]), has_instructions(threads_[0])};
+  ThreadSignals sig_b{can_decode(threads_[1]), has_instructions(threads_[1])};
+  if (sig_a.wants) ++threads_[0].perf.decode_cycles_wanted;
+  if (sig_b.wants) ++threads_[1].perf.decode_cycles_wanted;
+
+  switch (arbiter_.grant(now_, sig_a, sig_b)) {
+    case DecodeGrant::kThreadA:
+      decode_thread(threads_[0]);
+      ++threads_[0].perf.decode_cycles_granted;
+      break;
+    case DecodeGrant::kThreadB:
+      decode_thread(threads_[1]);
+      ++threads_[1].perf.decode_cycles_granted;
+      break;
+    case DecodeGrant::kNone:
+      break;
+  }
+
+  issue();
+  ++now_;
+}
+
+void Core::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace smtbal::smt

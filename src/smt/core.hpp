@@ -1,0 +1,157 @@
+// Cycle-level model of one POWER5-like 2-way SMT core.
+//
+// Pipeline model (per cycle):
+//   1. Decode arbitration — the DecodeArbiter picks which context owns this
+//      decode cycle according to the hardware thread priorities
+//      (paper Tables II/III). The granted context decodes up to
+//      `decode_width` micro-ops into the shared instruction window, bounded
+//      by the shared GCT occupancy and a per-thread in-flight cap.
+//   2. Issue — up to `issue_width` ready ops issue oldest-first across both
+//      contexts, bounded by per-class execution-unit counts. Loads/stores
+//      access the memory hierarchy; their latency is the access latency.
+//   3. Retire — each context retires completed ops in program order,
+//      freeing shared GCT entries.
+//
+// Two properties of the real machine emerge from this structure and drive
+// the paper's results: the favored thread's speedup saturates at its
+// natural ILP/execution-unit limit, while the starved thread's slowdown is
+// super-linear in the priority difference (decode cap ~ width/R plus
+// shared-window hogging by the favored thread) — the paper's Case D
+// "exponential penalty" observation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "isa/stream.hpp"
+#include "mem/hierarchy.hpp"
+#include "smt/priority.hpp"
+
+namespace smtbal::smt {
+
+inline constexpr std::uint32_t kThreadsPerCore = 2;
+
+struct CoreConfig {
+  std::uint32_t decode_width = 5;
+  std::uint32_t issue_width = 8;
+  /// Shared global completion table: total in-flight ops across contexts.
+  /// POWER5's GCT tracks 20 groups of up to 5 instructions; we track
+  /// individual ops, hence 100 entries.
+  std::uint32_t gct_entries = 100;
+  /// Per-thread in-flight cap (rename/dispatch buffers).
+  std::uint32_t per_thread_inflight = 100;
+  /// Execution units: FXU, FPU, LSU (loads+stores), BRU.
+  std::uint32_t fxu_units = 2;
+  std::uint32_t fpu_units = 2;
+  std::uint32_t lsu_units = 2;
+  std::uint32_t bru_units = 2;
+  /// Extra front-end cycles lost after a mispredicted branch resolves.
+  std::uint32_t mispredict_penalty = 12;
+  /// POWER5 dispatches instructions in *groups* of up to decode_width ops;
+  /// group formation breaks at branches (a branch must be the last slot)
+  /// and, with this probability, after any op (cracked/microcoded ops,
+  /// read-after-write pairing limits). The granted thread dispatches ONE
+  /// group per decode cycle, so the effective per-cycle decode bandwidth
+  /// is the mean group size (~2-3), not the raw width. This is what makes
+  /// a starved thread's 1-in-R cycles so expensive on the real machine.
+  double group_break_prob = 0.30;
+  /// Offer unused decode slots to the other thread (ablation only; the
+  /// real POWER5 slicing is strict).
+  bool work_conserving_decode = false;
+
+  void validate() const;
+};
+
+/// Per-thread performance counters for one measurement window.
+struct ThreadPerf {
+  InstrCount retired = 0;
+  Cycle decode_cycles_granted = 0;  ///< cycles this thread decoded >=1 op
+  Cycle decode_cycles_wanted = 0;   ///< cycles it had something to decode
+  InstrCount loads = 0;
+  InstrCount branches = 0;
+  InstrCount mispredicts = 0;
+
+  [[nodiscard]] double ipc(Cycle window) const {
+    return window ? static_cast<double>(retired) / static_cast<double>(window)
+                  : 0.0;
+  }
+};
+
+class Core {
+ public:
+  /// `core_index` selects this core's private L1 in the shared hierarchy.
+  Core(const CoreConfig& config, mem::Hierarchy& hierarchy,
+       std::uint32_t core_index);
+
+  /// Binds an instruction stream to a context (nullptr = context idle).
+  /// The stream must outlive the core or be unbound first.
+  void bind_stream(ThreadSlot slot, isa::StreamGen* stream);
+
+  void set_priority(ThreadSlot slot, HwPriority priority);
+  [[nodiscard]] HwPriority priority(ThreadSlot slot) const;
+
+  /// Advances the core by one cycle.
+  void step();
+
+  /// Advances the core by `cycles` cycles.
+  void run(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const ThreadPerf& perf(ThreadSlot slot) const;
+  void reset_perf();
+
+  /// Clears all in-flight state (streams stay bound, caches untouched).
+  void drain();
+
+  [[nodiscard]] std::uint32_t gct_used() const { return gct_used_; }
+  [[nodiscard]] const CoreConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    isa::MicroOp op;
+    std::uint64_t seq = 0;
+    Cycle decode_cycle = 0;
+    Cycle completion = 0;  ///< valid once issued
+    bool issued = false;
+  };
+
+  struct ThreadState {
+    isa::StreamGen* stream = nullptr;
+    HwPriority priority = kDefaultPriority;
+    std::deque<InFlight> window;  // program order, front = oldest
+    std::uint64_t next_seq = 0;
+    /// Pending mispredicted branch blocks further decode until it issues
+    /// and its redirect completes.
+    bool mispredict_pending = false;
+    std::uint64_t pending_branch_seq = 0;
+    Cycle redirect_until = 0;
+    /// Front-end state: true when the fetch buffer is empty this cycle
+    /// (drawn per cycle from the kernel's fetch_gap_fraction).
+    bool fetch_empty = false;
+    Rng front_end_rng{0};
+    ThreadPerf perf;
+  };
+
+  [[nodiscard]] bool has_instructions(const ThreadState& thread) const;
+  [[nodiscard]] bool can_decode(const ThreadState& thread) const;
+  void decode_thread(ThreadState& thread);
+  void issue();
+  void issue_op(ThreadState& thread, InFlight& entry);
+  void retire(ThreadState& thread);
+  [[nodiscard]] bool dep_satisfied(const ThreadState& thread,
+                                   const InFlight& entry) const;
+
+  CoreConfig config_;
+  mem::Hierarchy& hierarchy_;
+  std::uint32_t core_index_;
+  DecodeArbiter arbiter_;
+  std::array<ThreadState, kThreadsPerCore> threads_;
+  std::uint32_t gct_used_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace smtbal::smt

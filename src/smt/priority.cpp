@@ -1,0 +1,226 @@
+#include "smt/priority.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smtbal::smt {
+
+std::string_view to_string(HwPriority priority) {
+  switch (priority) {
+    case HwPriority::kOff: return "OFF";
+    case HwPriority::kVeryLow: return "VERY-LOW";
+    case HwPriority::kLow: return "LOW";
+    case HwPriority::kMediumLow: return "MEDIUM-LOW";
+    case HwPriority::kMedium: return "MEDIUM";
+    case HwPriority::kMediumHigh: return "MEDIUM-HIGH";
+    case HwPriority::kHigh: return "HIGH";
+    case HwPriority::kVeryHigh: return "VERY-HIGH";
+  }
+  return "?";
+}
+
+std::string_view to_string(PrivilegeLevel level) {
+  switch (level) {
+    case PrivilegeLevel::kUser: return "User";
+    case PrivilegeLevel::kSupervisor: return "Supervisor";
+    case PrivilegeLevel::kHypervisor: return "Hypervisor";
+  }
+  return "?";
+}
+
+PrivilegeLevel required_privilege(HwPriority priority) {
+  switch (priority) {
+    case HwPriority::kOff:
+    case HwPriority::kVeryHigh:
+      return PrivilegeLevel::kHypervisor;
+    case HwPriority::kVeryLow:
+    case HwPriority::kMediumHigh:
+    case HwPriority::kHigh:
+      return PrivilegeLevel::kSupervisor;
+    case HwPriority::kLow:
+    case HwPriority::kMediumLow:
+    case HwPriority::kMedium:
+      return PrivilegeLevel::kUser;
+  }
+  return PrivilegeLevel::kHypervisor;
+}
+
+bool can_set(PrivilegeLevel level, HwPriority priority) {
+  return static_cast<int>(level) >=
+         static_cast<int>(required_privilege(priority));
+}
+
+std::optional<std::string_view> or_nop_encoding(HwPriority priority) {
+  switch (priority) {
+    case HwPriority::kOff: return std::nullopt;
+    case HwPriority::kVeryLow: return "or 31,31,31";
+    case HwPriority::kLow: return "or 1,1,1";
+    case HwPriority::kMediumLow: return "or 6,6,6";
+    case HwPriority::kMedium: return "or 2,2,2";
+    case HwPriority::kMediumHigh: return "or 5,5,5";
+    case HwPriority::kHigh: return "or 3,3,3";
+    case HwPriority::kVeryHigh: return "or 7,7,7";
+  }
+  return std::nullopt;
+}
+
+HwPriority priority_from_int(int value) {
+  SMTBAL_REQUIRE(value >= 0 && value <= 7,
+                 "hardware priority must be in 0..7");
+  return static_cast<HwPriority>(value);
+}
+
+DecodeShare decode_share(HwPriority pa, HwPriority pb) {
+  const int a = level(pa);
+  const int b = level(pb);
+  DecodeShare share;
+
+  if (a > 1 && b > 1) {
+    // Table II: slices of R = 2^(|X-Y|+1) cycles; 1 cycle for the lower
+    // priority thread, R-1 for the higher one.
+    const int diff = a > b ? a - b : b - a;
+    share.slice_cycles = 1u << (diff + 1);
+    if (a == b) {
+      share.slots_a = 1;
+      share.slots_b = 1;
+    } else if (a > b) {
+      share.slots_a = share.slice_cycles - 1;
+      share.slots_b = 1;
+    } else {
+      share.slots_a = 1;
+      share.slots_b = share.slice_cycles - 1;
+    }
+    return share;
+  }
+
+  // Table III special cases.
+  if (a == 1 && b > 1) {
+    share.slice_cycles = 1;
+    share.slots_a = 0;
+    share.slots_b = 1;
+    share.a_leftover_only = true;  // "ThreadA takes what is left over"
+    return share;
+  }
+  if (b == 1 && a > 1) {
+    share.slice_cycles = 1;
+    share.slots_a = 1;
+    share.slots_b = 0;
+    share.b_leftover_only = true;
+    return share;
+  }
+  if (a == 1 && b == 1) {
+    // Power save mode: both threads receive 1 of 64 decode cycles.
+    share.slice_cycles = 64;
+    share.slots_a = 1;
+    share.slots_b = 1;
+    return share;
+  }
+  if (a == 0 && b > 1) {
+    // ST mode: thread B receives all the resources.
+    share.slice_cycles = 1;
+    share.slots_a = 0;
+    share.slots_b = 1;
+    share.a_runs = false;
+    return share;
+  }
+  if (b == 0 && a > 1) {
+    share.slice_cycles = 1;
+    share.slots_a = 1;
+    share.slots_b = 0;
+    share.b_runs = false;
+    return share;
+  }
+  if (a == 0 && b == 1) {
+    // 1 of 32 cycles are given to thread B.
+    share.slice_cycles = 32;
+    share.slots_a = 0;
+    share.slots_b = 1;
+    share.a_runs = false;
+    return share;
+  }
+  if (b == 0 && a == 1) {
+    share.slice_cycles = 32;
+    share.slots_a = 1;
+    share.slots_b = 0;
+    share.b_runs = false;
+    return share;
+  }
+  // (0, 0): processor stopped.
+  share.slice_cycles = 1;
+  share.slots_a = 0;
+  share.slots_b = 0;
+  share.a_runs = false;
+  share.b_runs = false;
+  return share;
+}
+
+DecodeArbiter::DecodeArbiter(HwPriority a, HwPriority b, bool work_conserving)
+    : a_(a), b_(b), work_conserving_(work_conserving), share_(decode_share(a, b)) {}
+
+void DecodeArbiter::set_priorities(HwPriority a, HwPriority b) {
+  a_ = a;
+  b_ = b;
+  share_ = decode_share(a, b);
+}
+
+DecodeGrant DecodeArbiter::slot_owner(Cycle cycle) const {
+  const int a = level(a_);
+  const int b = level(b_);
+
+  if (a > 1 && b > 1) {
+    const Cycle pos = cycle % share_.slice_cycles;
+    if (a == b) return pos == 0 ? DecodeGrant::kThreadA : DecodeGrant::kThreadB;
+    // Cycle 0 of each slice belongs to the lower-priority thread.
+    if (a < b) return pos == 0 ? DecodeGrant::kThreadA : DecodeGrant::kThreadB;
+    return pos == 0 ? DecodeGrant::kThreadB : DecodeGrant::kThreadA;
+  }
+  if (a == 1 && b > 1) return DecodeGrant::kThreadB;
+  if (b == 1 && a > 1) return DecodeGrant::kThreadA;
+  if (a == 1 && b == 1) {
+    const Cycle pos = cycle % 64;
+    if (pos == 0) return DecodeGrant::kThreadA;
+    if (pos == 32) return DecodeGrant::kThreadB;
+    return DecodeGrant::kNone;
+  }
+  if (a == 0 && b > 1) return DecodeGrant::kThreadB;
+  if (b == 0 && a > 1) return DecodeGrant::kThreadA;
+  if (a == 0 && b == 1) {
+    return cycle % 32 == 0 ? DecodeGrant::kThreadB : DecodeGrant::kNone;
+  }
+  if (b == 0 && a == 1) {
+    return cycle % 32 == 0 ? DecodeGrant::kThreadA : DecodeGrant::kNone;
+  }
+  return DecodeGrant::kNone;  // (0,0): stopped
+}
+
+DecodeGrant DecodeArbiter::grant(Cycle cycle, ThreadSignals a,
+                                 ThreadSignals b) const {
+  const DecodeGrant owner = slot_owner(cycle);
+
+  switch (owner) {
+    case DecodeGrant::kThreadA:
+      if (a.wants) return DecodeGrant::kThreadA;
+      // The slot is given away when (a) its owner is fetch-starved, (b) the
+      // taker runs under the Table III leftover rule (VERY-LOW partner), or
+      // (c) work-conserving mode is on (ablation). A resource-blocked owner
+      // otherwise keeps — and wastes — the slot.
+      if (b.wants && share_.b_runs &&
+          (!a.has_instructions || share_.b_leftover_only || work_conserving_)) {
+        return DecodeGrant::kThreadB;
+      }
+      return DecodeGrant::kNone;
+    case DecodeGrant::kThreadB:
+      if (b.wants) return DecodeGrant::kThreadB;
+      if (a.wants && share_.a_runs &&
+          (!b.has_instructions || share_.a_leftover_only || work_conserving_)) {
+        return DecodeGrant::kThreadA;
+      }
+      return DecodeGrant::kNone;
+    case DecodeGrant::kNone:
+      return DecodeGrant::kNone;
+  }
+  return DecodeGrant::kNone;
+}
+
+}  // namespace smtbal::smt

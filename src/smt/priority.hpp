@@ -1,0 +1,136 @@
+// IBM POWER5 hardware thread priorities (paper §V, Tables I-III).
+//
+// Each SMT context of a POWER5 core carries a hardware thread priority in
+// 0..7. The core divides its decode cycles between the two contexts in
+// time-slices of R = 2^(|X-Y|+1) cycles: the lower-priority thread receives
+// 1 of those cycles and the higher-priority thread R-1 (Table II). When
+// either priority is 0 or 1 the special rules of Table III apply. This
+// header implements both rules exactly, plus the Table I metadata
+// (priority names, required privilege level, or-nop encodings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace smtbal::smt {
+
+/// Hardware thread priority levels (paper Table I).
+enum class HwPriority : std::uint8_t {
+  kOff = 0,         ///< thread shut off (hypervisor only)
+  kVeryLow = 1,     ///< supervisor
+  kLow = 2,         ///< user
+  kMediumLow = 3,   ///< user
+  kMedium = 4,      ///< user; the default priority
+  kMediumHigh = 5,  ///< supervisor
+  kHigh = 6,        ///< supervisor
+  kVeryHigh = 7,    ///< hypervisor; ST mode (other thread off)
+};
+
+inline constexpr HwPriority kDefaultPriority = HwPriority::kMedium;
+
+/// Who may set a given priority (paper Table I).
+enum class PrivilegeLevel : std::uint8_t {
+  kUser = 0,
+  kSupervisor = 1,
+  kHypervisor = 2,
+};
+
+[[nodiscard]] std::string_view to_string(HwPriority priority);
+[[nodiscard]] std::string_view to_string(PrivilegeLevel level);
+
+/// Lowest privilege level allowed to set `priority` (Table I).
+[[nodiscard]] PrivilegeLevel required_privilege(HwPriority priority);
+
+/// True if code running at `level` may set `priority`.
+[[nodiscard]] bool can_set(PrivilegeLevel level, HwPriority priority);
+
+/// The `or Rx,Rx,Rx` no-op encoding that sets `priority` (Table I), e.g.
+/// "or 31,31,31" for VERY LOW. Priority 0 has no or-nop form (nullopt).
+[[nodiscard]] std::optional<std::string_view> or_nop_encoding(HwPriority priority);
+
+[[nodiscard]] constexpr int level(HwPriority p) { return static_cast<int>(p); }
+
+/// Converts a raw integer (e.g. from the /proc interface) to a priority.
+/// Throws InvalidArgument outside 0..7.
+[[nodiscard]] HwPriority priority_from_int(int value);
+
+/// How the decode stage divides cycles between the two contexts given
+/// their priorities. `slots_a` of every `slice_cycles` decode cycles belong
+/// to thread A and `slots_b` to thread B (the rest, if any, are idle).
+struct DecodeShare {
+  std::uint32_t slice_cycles = 2;  ///< R
+  std::uint32_t slots_a = 1;
+  std::uint32_t slots_b = 1;
+  bool a_runs = true;              ///< false when thread A is shut off
+  bool b_runs = true;
+  /// Table III "takes what is left over": this thread may only decode in
+  /// cycles the other thread cannot use.
+  bool a_leftover_only = false;
+  bool b_leftover_only = false;
+
+  [[nodiscard]] double fraction_a() const {
+    return static_cast<double>(slots_a) / static_cast<double>(slice_cycles);
+  }
+  [[nodiscard]] double fraction_b() const {
+    return static_cast<double>(slots_b) / static_cast<double>(slice_cycles);
+  }
+};
+
+/// Computes the decode share for a pair of priorities, implementing
+/// Table II for priorities > 1 and Table III otherwise.
+[[nodiscard]] DecodeShare decode_share(HwPriority a, HwPriority b);
+
+/// Which thread (if any) owns a given decode cycle.
+enum class DecodeGrant : std::uint8_t { kNone, kThreadA, kThreadB };
+
+/// Per-cycle decode readiness of one context, as seen by the arbiter.
+struct ThreadSignals {
+  /// The thread can decode this cycle (instructions available AND shared
+  /// resources available).
+  bool wants = false;
+  /// The thread has instructions to decode (fetch buffer non-empty, no
+  /// pending branch redirect, context bound). When the slot owner has no
+  /// instructions the slot is *donated* to the core-mate — the decode
+  /// stage has literally nothing to do for the owner. A slot whose owner
+  /// has instructions but is resource-blocked (GCT full) idles instead:
+  /// dispatch is stalled and the slot is not reassigned.
+  bool has_instructions = false;
+};
+
+/// Cycle-accurate decode-slot arbiter for one core.
+///
+/// For priorities > 1 the slice has R = 2^(|X-Y|+1) cycles; cycle 0 of each
+/// slice belongs to the lower-priority thread and the remaining R-1 to the
+/// higher-priority one (equal priorities alternate). Slots whose owner is
+/// fetch-starved are donated to the core-mate; slots whose owner is
+/// resource-blocked idle. With `work_conserving` enabled resource-blocked
+/// slots are donated too (ablation only — it largely defeats the
+/// prioritisation, see bench_ablation_interference).
+class DecodeArbiter {
+ public:
+  DecodeArbiter(HwPriority a, HwPriority b, bool work_conserving = false);
+
+  void set_priorities(HwPriority a, HwPriority b);
+  void set_work_conserving(bool enabled) { work_conserving_ = enabled; }
+
+  [[nodiscard]] HwPriority priority_a() const { return a_; }
+  [[nodiscard]] HwPriority priority_b() const { return b_; }
+  [[nodiscard]] const DecodeShare& share() const { return share_; }
+
+  /// Decides who decodes in `cycle`.
+  [[nodiscard]] DecodeGrant grant(Cycle cycle, ThreadSignals a,
+                                  ThreadSignals b) const;
+
+ private:
+  [[nodiscard]] DecodeGrant slot_owner(Cycle cycle) const;
+
+  HwPriority a_;
+  HwPriority b_;
+  bool work_conserving_;
+  DecodeShare share_;
+};
+
+}  // namespace smtbal::smt

@@ -1,0 +1,88 @@
+#include "smt/sampler.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "isa/stream.hpp"
+
+namespace smtbal::smt {
+
+std::uint64_t ChipLoad::key() const {
+  // splitmix64-chained hash over the per-context (kernel, priority) words.
+  // 8 contexts x ~36 significant bits do not fit a packed 64-bit key, so we
+  // mix instead; collisions are ~2^-64 per pair of configurations.
+  std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL;
+  for (const auto& slot : contexts) {
+    std::uint64_t word = 0;
+    if (slot.has_value()) {
+      word = (std::uint64_t{slot->kernel} + 1) << 4 |
+             static_cast<std::uint64_t>(slot->priority);
+    }
+    std::uint64_t mixed = state ^ word;
+    state = splitmix64(mixed);  // full avalanche per context word
+  }
+  return state;
+}
+
+ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
+    : config_(std::move(config)), options_(options), chip_(config_) {
+  SMTBAL_REQUIRE(config_.num_contexts() <= kMaxContexts,
+                 "chip has more contexts than the sampler supports");
+  SMTBAL_REQUIRE(options_.window_cycles > 0, "window must be positive");
+}
+
+const SampleResult& ThroughputSampler::sample(const ChipLoad& load) {
+  ++stats_.lookups;
+  const std::uint64_t key = load.key();
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  ++stats_.misses;
+  auto [it, inserted] = cache_.emplace(key, measure(load));
+  SMTBAL_CHECK(inserted);
+  return it->second;
+}
+
+SampleResult ThroughputSampler::measure(const ChipLoad& load) {
+  chip_.reset();
+
+  // Build one stream per active context. Seeds depend on the context
+  // number only, so the same configuration always measures identically.
+  const auto& registry = isa::KernelRegistry::instance();
+  std::vector<std::unique_ptr<isa::StreamGen>> streams(config_.num_contexts());
+
+  for (std::uint32_t ctx = 0; ctx < config_.num_contexts(); ++ctx) {
+    const CpuId cpu = config_.cpu(ctx);
+    const auto& slot = load.contexts[ctx];
+    if (slot.has_value()) {
+      streams[ctx] = std::make_unique<isa::StreamGen>(
+          registry.get(slot->kernel), options_.seed + ctx * 0x9e37u);
+      chip_.bind_stream(cpu, streams[ctx].get());
+      chip_.set_priority(cpu, slot->priority);
+    } else {
+      chip_.bind_stream(cpu, nullptr);
+      // Idle context: the OS idle loop shuts the thread off (ST mode).
+      chip_.set_priority(cpu, HwPriority::kOff);
+    }
+  }
+
+  chip_.run(options_.warmup_cycles);
+  for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+    chip_.core(CoreId{c}).reset_perf();
+  }
+  chip_.run(options_.window_cycles);
+
+  SampleResult result;
+  for (std::uint32_t ctx = 0; ctx < config_.num_contexts(); ++ctx) {
+    const CpuId cpu = config_.cpu(ctx);
+    result.ipc[ctx] = chip_.perf(cpu).ipc(options_.window_cycles);
+    result.instr_rate[ctx] = result.ipc[ctx] * config_.frequency_hz();
+  }
+
+  // Unbind the local streams before they go out of scope.
+  for (std::uint32_t ctx = 0; ctx < config_.num_contexts(); ++ctx) {
+    chip_.bind_stream(config_.cpu(ctx), nullptr);
+  }
+  return result;
+}
+
+}  // namespace smtbal::smt

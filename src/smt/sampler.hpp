@@ -1,0 +1,88 @@
+// Throughput sampler: the bridge between the cycle-level chip model and
+// the discrete-event application simulator.
+//
+// Full cycle simulation of an MPI application would take ~10^11 simulated
+// cycles; instead, whenever the set of (kernel, priority) pairs on the
+// chip's contexts changes, the engine asks this sampler for the
+// steady-state per-context instruction rates of that configuration. The
+// sampler runs the cycle model for a short warm-up + measurement window
+// and memoises the result, so each distinct chip configuration is
+// simulated at cycle level exactly once per process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "isa/kernel.hpp"
+#include "smt/chip.hpp"
+
+namespace smtbal::smt {
+
+inline constexpr std::uint32_t kMaxContexts = 8;
+
+/// What one hardware context is running.
+struct ContextLoad {
+  isa::KernelId kernel = 0;
+  HwPriority priority = kDefaultPriority;
+
+  bool operator==(const ContextLoad&) const = default;
+};
+
+/// Load on every context of the chip; disengaged = context idle (the OS
+/// idle loop shuts the thread off, putting the core in ST mode — paper
+/// §VI-A case 3).
+struct ChipLoad {
+  std::array<std::optional<ContextLoad>, kMaxContexts> contexts;
+
+  bool operator==(const ChipLoad&) const = default;
+
+  /// Packs the load into a 64-bit memoisation key.
+  /// Requires kernel ids < 2^12 and uses 4 bits per priority.
+  [[nodiscard]] std::uint64_t key() const;
+};
+
+/// Steady-state rates measured for one chip configuration.
+struct SampleResult {
+  /// Retired instructions per cycle, indexed by linear context number.
+  std::array<double, kMaxContexts> ipc{};
+  /// Retired instructions per second (ipc * chip frequency).
+  std::array<double, kMaxContexts> instr_rate{};
+};
+
+struct SamplerStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;  ///< cycle-level simulations actually run
+};
+
+class ThroughputSampler {
+ public:
+  struct Options {
+    Cycle warmup_cycles = 30'000;
+    Cycle window_cycles = 120'000;
+    std::uint64_t seed = 0xB05Eu;
+  };
+
+  ThroughputSampler(ChipConfig config, Options options);
+  explicit ThroughputSampler(ChipConfig config)
+      : ThroughputSampler(std::move(config), Options{}) {}
+
+  /// Returns the steady-state rates for `load`, running the cycle model on
+  /// a miss. Results are memoised for the sampler's lifetime.
+  const SampleResult& sample(const ChipLoad& load);
+
+  [[nodiscard]] const SamplerStats& stats() const { return stats_; }
+  [[nodiscard]] const ChipConfig& chip_config() const { return config_; }
+
+ private:
+  SampleResult measure(const ChipLoad& load);
+
+  ChipConfig config_;
+  Options options_;
+  Chip chip_;
+  std::unordered_map<std::uint64_t, SampleResult> cache_;
+  SamplerStats stats_;
+};
+
+}  // namespace smtbal::smt

@@ -1,0 +1,79 @@
+#include "trace/analysis.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+
+AppSummary summarize(const Tracer& tracer) {
+  AppSummary summary;
+  summary.exec_time = tracer.end_time();
+  summary.imbalance = tracer.imbalance();
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    const RankStats stats = tracer.stats(RankId{static_cast<std::uint32_t>(r)});
+    summary.total_compute +=
+        stats.per_state[static_cast<int>(RankState::kCompute)] +
+        stats.per_state[static_cast<int>(RankState::kInit)];
+    summary.total_wait += stats.per_state[static_cast<int>(RankState::kSync)];
+    summary.total_preempted +=
+        stats.per_state[static_cast<int>(RankState::kPreempted)];
+    summary.ranks.push_back(stats);
+  }
+  const double cpu_time =
+      summary.exec_time * static_cast<double>(tracer.num_ranks());
+  summary.efficiency = cpu_time > 0.0 ? summary.total_compute / cpu_time : 0.0;
+  return summary;
+}
+
+std::vector<SimTime> compute_bursts(const Tracer& tracer, RankId rank) {
+  std::vector<SimTime> bursts;
+  SimTime current = 0.0;
+  bool in_burst = false;
+  for (const Interval& interval : tracer.timeline(rank)) {
+    if (interval.state == RankState::kCompute) {
+      current += interval.duration();
+      in_burst = true;
+    } else if (in_burst) {
+      // Short bookkeeping (stat/comm) does not end an iteration's burst;
+      // a synchronisation interval does.
+      if (interval.state == RankState::kSync ||
+          interval.state == RankState::kDone) {
+        bursts.push_back(current);
+        current = 0.0;
+        in_burst = false;
+      }
+    }
+  }
+  if (in_burst && current > 0.0) bursts.push_back(current);
+  return bursts;
+}
+
+std::vector<RunningStats> burst_statistics(const Tracer& tracer) {
+  std::vector<RunningStats> stats(tracer.num_ranks());
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    for (const SimTime burst :
+         compute_bursts(tracer, RankId{static_cast<std::uint32_t>(r)})) {
+      stats[r].add(burst);
+    }
+  }
+  return stats;
+}
+
+double iteration_variability(const Tracer& tracer) {
+  const auto stats = burst_statistics(tracer);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const RunningStats& rank : stats) {
+    if (rank.count() < 2 || rank.mean() <= 0.0) continue;
+    sum += rank.stddev() / rank.mean();
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+double speedup(const Tracer& reference, const Tracer& candidate) {
+  SMTBAL_REQUIRE(candidate.end_time() > 0.0,
+                 "candidate trace has no duration");
+  return reference.end_time() / candidate.end_time();
+}
+
+}  // namespace smtbal::trace

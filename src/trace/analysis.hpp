@@ -1,0 +1,49 @@
+// Derived trace analysis: per-application summaries, per-rank compute
+// burst extraction (one burst ~ one iteration's computation), and
+// run-to-run comparison — the numbers a balancing study reports beyond
+// the raw characterisation table.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "trace/tracer.hpp"
+
+namespace smtbal::trace {
+
+/// Whole-application summary over a finished trace.
+struct AppSummary {
+  SimTime exec_time = 0.0;
+  double imbalance = 0.0;          ///< the paper's metric
+  SimTime total_compute = 0.0;     ///< sum over ranks
+  SimTime total_wait = 0.0;        ///< time blocked in MPI, summed
+  SimTime total_preempted = 0.0;   ///< stolen by OS noise
+  /// Fraction of aggregate CPU time spent computing: the resource-waste
+  /// measure the paper's introduction motivates (idle CPUs on a
+  /// 10240-processor machine).
+  double efficiency = 0.0;
+  std::vector<RankStats> ranks;
+};
+
+[[nodiscard]] AppSummary summarize(const Tracer& tracer);
+
+/// Durations of the rank's maximal compute intervals, in time order.
+/// For barrier-per-iteration applications each burst is one iteration's
+/// computation — the input a per-iteration balancing policy works from.
+[[nodiscard]] std::vector<SimTime> compute_bursts(const Tracer& tracer,
+                                                  RankId rank);
+
+/// Burst-duration statistics per rank (mean/min/max/stddev): quantifies
+/// how variable an application's iterations are — the property that
+/// separates SIESTA from BT-MZ in the paper (§VII-C).
+[[nodiscard]] std::vector<RunningStats> burst_statistics(const Tracer& tracer);
+
+/// Relative iteration variability: mean over ranks of
+/// stddev(burst)/mean(burst). ~0 for BT-MZ-like apps, large for
+/// SIESTA-like ones.
+[[nodiscard]] double iteration_variability(const Tracer& tracer);
+
+/// Speed-up of `candidate` over `reference` (>1 = candidate faster).
+[[nodiscard]] double speedup(const Tracer& reference, const Tracer& candidate);
+
+}  // namespace smtbal::trace

@@ -1,0 +1,71 @@
+#include "trace/gantt.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+
+namespace {
+
+/// Picks the state occupying the most time within [lo, hi).
+RankState dominant_state(const std::vector<Interval>& timeline, SimTime lo,
+                         SimTime hi) {
+  std::array<SimTime, kNumRankStates> occupancy{};
+  bool any = false;
+  for (const Interval& interval : timeline) {
+    if (interval.end <= lo) continue;
+    if (interval.begin >= hi) break;
+    const SimTime overlap =
+        std::min(interval.end, hi) - std::max(interval.begin, lo);
+    occupancy[static_cast<int>(interval.state)] += overlap;
+    any = true;
+  }
+  if (!any) return RankState::kDone;
+  int best = 0;
+  for (int s = 1; s < kNumRankStates; ++s) {
+    if (occupancy[static_cast<std::size_t>(s)] >
+        occupancy[static_cast<std::size_t>(best)]) {
+      best = s;
+    }
+  }
+  return static_cast<RankState>(best);
+}
+
+}  // namespace
+
+std::string render_gantt(const Tracer& tracer, const GanttOptions& options) {
+  SMTBAL_REQUIRE(options.width > 0, "gantt width must be positive");
+  const SimTime total = tracer.end_time();
+  std::ostringstream os;
+
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    const RankId rank{static_cast<std::uint32_t>(r)};
+    os << options.row_prefix << (r + 1) << " |";
+    const auto& timeline = tracer.timeline(rank);
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const SimTime lo = total * static_cast<double>(c) /
+                         static_cast<double>(options.width);
+      const SimTime hi = total * static_cast<double>(c + 1) /
+                         static_cast<double>(options.width);
+      os << glyph(dominant_state(timeline, lo, hi));
+    }
+    os << "|\n";
+  }
+
+  if (options.show_ruler) {
+    os << std::string(options.row_prefix.size() + 2, ' ') << '0'
+       << std::string(options.width > 12 ? options.width - 12 : 0, ' ');
+    std::ostringstream label;
+    label.precision(4);
+    label << total << " s";
+    os << label.str() << '\n';
+  }
+  if (options.show_legend) {
+    os << "   [#] compute  [-] sync  [*] comm  [+] stat  [.] init  [!] preempted\n";
+  }
+  return os.str();
+}
+
+}  // namespace smtbal::trace

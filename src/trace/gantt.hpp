@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of a trace — the textual stand-in for the paper's
+// PARAVER screenshots (Figures 2, 3, 4). One row per rank; each column is
+// a time bucket whose glyph is the state the rank spent most of that
+// bucket in ('#' compute, '-' sync, '*' comm, '+' stat, '.' init,
+// '!' preempted).
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace smtbal::trace {
+
+struct GanttOptions {
+  std::size_t width = 100;      ///< number of time buckets
+  bool show_legend = true;
+  bool show_ruler = true;       ///< time axis under the chart
+  std::string row_prefix = "P"; ///< rank label prefix ("P1", "P2", ...)
+};
+
+/// Renders the whole trace; rows are ordered by rank id (1-based labels,
+/// matching the paper's process naming).
+[[nodiscard]] std::string render_gantt(const Tracer& tracer,
+                                       const GanttOptions& options = {});
+
+}  // namespace smtbal::trace

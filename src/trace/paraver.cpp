@@ -1,0 +1,54 @@
+#include "trace/paraver.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+
+int prv_state_code(RankState state) {
+  switch (state) {
+    case RankState::kInit: return 9;        // "initialization"
+    case RankState::kCompute: return 1;     // "running"
+    case RankState::kSync: return 3;        // "waiting"
+    case RankState::kComm: return 5;        // "communication"
+    case RankState::kStat: return 15;       // "others"
+    case RankState::kPreempted: return 13;  // "preempted"
+    case RankState::kDone: return 0;        // "idle"
+  }
+  return 0;
+}
+
+std::string to_prv(const Tracer& tracer, double ticks_per_second) {
+  SMTBAL_REQUIRE(ticks_per_second > 0.0, "ticks_per_second must be positive");
+  const auto ticks = [&](SimTime t) {
+    return static_cast<long long>(std::llround(t * ticks_per_second));
+  };
+
+  std::ostringstream os;
+  // Header: #Paraver (date): total_time:resource_model:app_model
+  // We emit one node with num_ranks CPUs and one application whose tasks
+  // map 1:1 onto ranks, each with a single thread.
+  const std::size_t n = tracer.num_ranks();
+  os << "#Paraver (simulated):" << ticks(tracer.end_time()) << ":1(" << n
+     << "):1:" << n << '(';
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r != 0) os << ',';
+    os << "1:" << (r + 1);
+  }
+  os << ")\n";
+
+  // State records: 1:cpu:app:task:thread:begin:end:state
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const Interval& interval :
+         tracer.timeline(RankId{static_cast<std::uint32_t>(r)})) {
+      os << "1:" << (r + 1) << ":1:" << (r + 1) << ":1:"
+         << ticks(interval.begin) << ':' << ticks(interval.end) << ':'
+         << prv_state_code(interval.state) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace smtbal::trace

@@ -1,0 +1,25 @@
+// Minimal PARAVER trace export.
+//
+// The paper used PARAVER (Labarta et al. [20]) to collect and visualise
+// traces. We export the recorded timelines in the textual .prv format
+// (header + one state record per interval) so traces from this simulator
+// can be loaded into the real tool. Only state records (type 1) are
+// emitted, which is what the paper's figures show.
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace smtbal::trace {
+
+/// PARAVER state codes for our RankState values (PARAVER convention:
+/// 0 = idle, 1 = running, 3 = waiting, ...).
+[[nodiscard]] int prv_state_code(RankState state);
+
+/// Serialises the trace as a .prv document. `time_unit` scales SimTime
+/// seconds into integer trace ticks (default: microseconds).
+[[nodiscard]] std::string to_prv(const Tracer& tracer,
+                                 double ticks_per_second = 1e6);
+
+}  // namespace smtbal::trace

@@ -1,0 +1,69 @@
+#include "trace/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+
+CaseReport CaseReport::from_trace(std::string label, const Tracer& tracer,
+                                  std::vector<int> core_of_rank,
+                                  std::vector<int> priority_of_rank) {
+  SMTBAL_REQUIRE(core_of_rank.size() == tracer.num_ranks(),
+                 "core_of_rank size mismatch");
+  SMTBAL_REQUIRE(priority_of_rank.size() == tracer.num_ranks(),
+                 "priority_of_rank size mismatch");
+  CaseReport report;
+  report.label = std::move(label);
+  report.core_of_rank = std::move(core_of_rank);
+  report.priority_of_rank = std::move(priority_of_rank);
+  report.imbalance = tracer.imbalance();
+  report.exec_time = tracer.end_time();
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    const RankStats stats = tracer.stats(RankId{static_cast<std::uint32_t>(r)});
+    report.comp_fraction.push_back(stats.comp_fraction());
+    report.sync_fraction.push_back(stats.sync_fraction());
+  }
+  return report;
+}
+
+TextTable characterization_table(const std::vector<CaseReport>& cases) {
+  TextTable table({"Test", "Proc", "Core", "P", "Comp %", "Sync %", "Imb %",
+                   "Exec. Time"});
+  bool first_case = true;
+  for (const CaseReport& c : cases) {
+    if (!first_case) table.add_separator();
+    first_case = false;
+    for (std::size_t r = 0; r < c.comp_fraction.size(); ++r) {
+      table.add_row({
+          r == 0 ? c.label : "",
+          "P" + std::to_string(r + 1),
+          std::to_string(c.core_of_rank[r]),
+          std::to_string(c.priority_of_rank[r]),
+          TextTable::pct(c.comp_fraction[r]),
+          TextTable::pct(c.sync_fraction[r]),
+          r == 0 ? TextTable::pct(c.imbalance) : "",
+          r == 0 ? TextTable::num(c.exec_time, 2) + "s" : "",
+      });
+    }
+  }
+  return table;
+}
+
+std::string summary_line(const CaseReport& current, const CaseReport& reference) {
+  std::ostringstream os;
+  const double gain =
+      (reference.exec_time - current.exec_time) / reference.exec_time * 100.0;
+  os << "case " << current.label << ": imb "
+     << TextTable::pct(current.imbalance) << "% exec "
+     << TextTable::num(current.exec_time, 2) << "s (";
+  if (gain >= 0.0) {
+    os << "+" << TextTable::num(gain, 2) << "% improvement vs "
+       << reference.label << ")";
+  } else {
+    os << TextTable::num(-gain, 2) << "% loss vs " << reference.label << ")";
+  }
+  return os.str();
+}
+
+}  // namespace smtbal::trace

@@ -1,0 +1,40 @@
+// Paper-style result tables (Tables IV, V, VI layout):
+//   Test | Proc | Core | P | Comp % | Sync % | Imb % | Exec. Time
+// Each experiment case contributes one row per rank; Imb % and Exec. Time
+// are per-case values printed on the case's first row, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace smtbal::trace {
+
+/// Everything needed to print one experiment case.
+struct CaseReport {
+  std::string label;                 ///< "A", "B", ..., "ST"
+  std::vector<int> core_of_rank;     ///< 1-based core number per rank
+  std::vector<int> priority_of_rank; ///< hardware priority per rank
+  double imbalance = 0.0;            ///< fraction in [0,1]
+  SimTime exec_time = 0.0;
+  std::vector<double> comp_fraction; ///< per rank
+  std::vector<double> sync_fraction; ///< per rank
+
+  /// Builds a report from a finished trace plus the case metadata.
+  static CaseReport from_trace(std::string label, const Tracer& tracer,
+                               std::vector<int> core_of_rank,
+                               std::vector<int> priority_of_rank);
+};
+
+/// Formats a set of cases as a paper-style characterisation table.
+[[nodiscard]] TextTable characterization_table(
+    const std::vector<CaseReport>& cases);
+
+/// One-line summary: "case C: imb 1.96% exec 74.90s (+8.26% vs A)".
+[[nodiscard]] std::string summary_line(const CaseReport& current,
+                                       const CaseReport& reference);
+
+}  // namespace smtbal::trace

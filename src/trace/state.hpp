@@ -1,0 +1,50 @@
+// Rank activity states, mirroring the PARAVER state palette used in the
+// paper's Figures 2-4 (dark grey = computing, light grey = waiting,
+// black = statistics, white = initialisation).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace smtbal::trace {
+
+enum class RankState : std::uint8_t {
+  kInit = 0,     ///< application start-up (white bars)
+  kCompute = 1,  ///< useful computation (dark grey)
+  kSync = 2,     ///< blocked in a synchronisation primitive (light grey)
+  kComm = 3,     ///< exchanging data (black bars in Fig. 3)
+  kStat = 4,     ///< statistics/bookkeeping at a phase end (black)
+  kPreempted = 5, ///< context stolen by the OS (noise, daemons)
+  kDone = 6,     ///< rank finished
+};
+
+inline constexpr int kNumRankStates = 7;
+
+[[nodiscard]] constexpr std::string_view to_string(RankState state) {
+  switch (state) {
+    case RankState::kInit: return "init";
+    case RankState::kCompute: return "compute";
+    case RankState::kSync: return "sync";
+    case RankState::kComm: return "comm";
+    case RankState::kStat: return "stat";
+    case RankState::kPreempted: return "preempted";
+    case RankState::kDone: return "done";
+  }
+  return "?";
+}
+
+/// Single-character glyph used by the ASCII Gantt rendering.
+[[nodiscard]] constexpr char glyph(RankState state) {
+  switch (state) {
+    case RankState::kInit: return '.';
+    case RankState::kCompute: return '#';
+    case RankState::kSync: return '-';
+    case RankState::kComm: return '*';
+    case RankState::kStat: return '+';
+    case RankState::kPreempted: return '!';
+    case RankState::kDone: return ' ';
+  }
+  return '?';
+}
+
+}  // namespace smtbal::trace

@@ -1,0 +1,60 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+
+Tracer::Tracer(std::size_t num_ranks) : timelines_(num_ranks) {
+  SMTBAL_REQUIRE(num_ranks > 0, "tracer needs at least one rank");
+}
+
+void Tracer::record(RankId rank, SimTime begin, SimTime end, RankState state) {
+  SMTBAL_REQUIRE(rank.value() < timelines_.size(), "rank out of range");
+  SMTBAL_REQUIRE(end >= begin, "interval must not be negative");
+  if (end == begin) return;
+  auto& timeline = timelines_[rank.value()];
+  if (!timeline.empty()) {
+    SMTBAL_REQUIRE(begin >= timeline.back().end - 1e-12,
+                   "intervals must be recorded in time order");
+    // Merge adjacent intervals in the same state to keep timelines small.
+    if (timeline.back().state == state && begin <= timeline.back().end + 1e-12) {
+      timeline.back().end = end;
+      return;
+    }
+  }
+  timeline.push_back(Interval{begin, end, state});
+}
+
+void Tracer::finish(SimTime end_time) {
+  end_time_ = std::max(end_time_, end_time);
+  for (const auto& timeline : timelines_) {
+    if (!timeline.empty()) end_time_ = std::max(end_time_, timeline.back().end);
+  }
+}
+
+const std::vector<Interval>& Tracer::timeline(RankId rank) const {
+  SMTBAL_REQUIRE(rank.value() < timelines_.size(), "rank out of range");
+  return timelines_[rank.value()];
+}
+
+RankStats Tracer::stats(RankId rank) const {
+  RankStats stats;
+  stats.total = end_time_;
+  for (const Interval& interval : timeline(rank)) {
+    stats.per_state[static_cast<int>(interval.state)] += interval.duration();
+  }
+  return stats;
+}
+
+double Tracer::imbalance() const {
+  double max_wait = 0.0;
+  for (std::size_t r = 0; r < timelines_.size(); ++r) {
+    max_wait = std::max(max_wait, stats(RankId{static_cast<std::uint32_t>(r)})
+                                      .sync_fraction());
+  }
+  return max_wait;
+}
+
+}  // namespace smtbal::trace

@@ -1,0 +1,70 @@
+// Per-rank state-interval recorder plus the paper's derived metrics.
+//
+// The paper reports, per experiment case (Tables IV-VI):
+//   * Comp %  — fraction of a process's lifetime spent computing
+//   * Sync %  — fraction spent blocked at synchronisation points
+//   * Imb %   — the application imbalance: the *maximum* waiting-time
+//               percentage over all processes (paper §VII)
+//   * Exec. Time — wall-clock of the whole run
+// Tracer computes all four from the recorded intervals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/state.hpp"
+
+namespace smtbal::trace {
+
+struct Interval {
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  RankState state = RankState::kInit;
+
+  [[nodiscard]] SimTime duration() const { return end - begin; }
+};
+
+/// Aggregated per-rank statistics over the run.
+struct RankStats {
+  SimTime total = 0.0;
+  SimTime per_state[kNumRankStates] = {};
+
+  [[nodiscard]] double fraction(RankState state) const {
+    return total > 0.0 ? per_state[static_cast<int>(state)] / total : 0.0;
+  }
+  [[nodiscard]] double comp_fraction() const { return fraction(RankState::kCompute); }
+  /// "Waiting" in the paper's sense: blocked in MPI.
+  [[nodiscard]] double sync_fraction() const { return fraction(RankState::kSync); }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t num_ranks);
+
+  /// Appends an interval to `rank`'s timeline. Intervals must be recorded
+  /// in non-decreasing time order per rank; zero-length intervals are
+  /// dropped.
+  void record(RankId rank, SimTime begin, SimTime end, RankState state);
+
+  /// Marks the end of the run (defines total execution time).
+  void finish(SimTime end_time);
+
+  [[nodiscard]] std::size_t num_ranks() const { return timelines_.size(); }
+  [[nodiscard]] const std::vector<Interval>& timeline(RankId rank) const;
+  [[nodiscard]] SimTime end_time() const { return end_time_; }
+
+  /// Per-rank totals. Fractions are relative to the run's end time.
+  [[nodiscard]] RankStats stats(RankId rank) const;
+
+  /// The paper's imbalance metric: max over ranks of sync_fraction(),
+  /// expressed as a fraction in [0, 1].
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  std::vector<std::vector<Interval>> timelines_;
+  SimTime end_time_ = 0.0;
+};
+
+}  // namespace smtbal::trace

@@ -1,0 +1,105 @@
+#include "workloads/btmz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace smtbal::workloads {
+
+void BtmzConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2, "BT-MZ needs at least two ranks");
+  SMTBAL_REQUIRE(num_zones >= static_cast<int>(num_ranks),
+                 "need at least one zone per rank");
+  SMTBAL_REQUIRE(zone_growth >= 1.0, "zone_growth must be >= 1");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+  SMTBAL_REQUIRE(bottleneck_instructions > 0.0,
+                 "bottleneck_instructions must be > 0");
+  SMTBAL_REQUIRE(comm_duration >= 0.0, "comm_duration must be >= 0");
+  SMTBAL_REQUIRE(init_fraction >= 0.0, "init_fraction must be >= 0");
+}
+
+std::vector<double> btmz_zone_sizes(const BtmzConfig& config) {
+  config.validate();
+  std::vector<double> sizes(static_cast<std::size_t>(config.num_zones));
+  double total = 0.0;
+  for (std::size_t z = 0; z < sizes.size(); ++z) {
+    sizes[z] = std::pow(config.zone_growth, static_cast<double>(z));
+    total += sizes[z];
+  }
+  for (double& s : sizes) s /= total;
+  return sizes;
+}
+
+std::vector<double> btmz_rank_share(const BtmzConfig& config) {
+  const std::vector<double> sizes = btmz_zone_sizes(config);
+  std::vector<double> work(config.num_ranks, 0.0);
+  // Contiguous grouping in ascending size order: the first rank gets the
+  // smallest zones, the last the biggest — BT-MZ's naive distribution.
+  const std::size_t per_rank = sizes.size() / config.num_ranks;
+  std::size_t z = 0;
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    const std::size_t count =
+        r + 1 == config.num_ranks ? sizes.size() - z : per_rank;
+    for (std::size_t i = 0; i < count; ++i) work[r] += sizes[z++];
+  }
+  const double bottleneck = *std::max_element(work.begin(), work.end());
+  for (double& w : work) w /= bottleneck;
+  return work;
+}
+
+double btmz_bottleneck_fraction(const BtmzConfig& config) {
+  const std::vector<double> sizes = btmz_zone_sizes(config);
+  const std::size_t per_rank = sizes.size() / config.num_ranks;
+  double bottleneck = 0.0;
+  std::size_t z = 0;
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    const std::size_t count =
+        r + 1 == config.num_ranks ? sizes.size() - z : per_rank;
+    double work = 0.0;
+    for (std::size_t i = 0; i < count; ++i) work += sizes[z++];
+    bottleneck = std::max(bottleneck, work);
+  }
+  return bottleneck;  // zone sizes are normalised to sum 1
+}
+
+mpisim::Application build_btmz(const BtmzConfig& config) {
+  const std::vector<double> share = btmz_rank_share(config);
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.kernel).id;
+
+  mpisim::Application app;
+  app.name = "BT-MZ";
+  app.ranks.resize(config.num_ranks);
+
+  const auto rank_id = [](std::size_t r) {
+    return RankId{static_cast<std::uint32_t>(r)};
+  };
+
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    auto& program = app.ranks[r];
+    const double work = config.bottleneck_instructions * share[r];
+    const std::size_t left = (r + config.num_ranks - 1) % config.num_ranks;
+    const std::size_t right = (r + 1) % config.num_ranks;
+
+    // Initialisation (white bars), closed by the first barrier.
+    program.compute(kernel, work * config.init_fraction,
+                    trace::RankState::kInit);
+    program.barrier();
+
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, work);
+      // Boundary exchange with both ring neighbours.
+      program.delay(config.comm_duration, trace::RankState::kComm);
+      program.recv(rank_id(left), config.exchange_bytes, i);
+      program.recv(rank_id(right), config.exchange_bytes, i);
+      program.send(rank_id(left), config.exchange_bytes, i);
+      program.send(rank_id(right), config.exchange_bytes, i);
+      program.wait_all();
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,58 @@
+// NAS BT Multi-Zone model — paper §VII-B.
+//
+// BT-MZ partitions the discretisation mesh into zones whose sizes grow
+// geometrically (class A: 16 zones); zones are assigned to ranks in
+// contiguous groups, which is what produces the strong intrinsic
+// imbalance the paper measures (case A: 82% imbalance, rank compute
+// shares ~{0.19, 0.33, 0.57, 1.0}).
+//
+// Per iteration every rank: computes its zones, posts mpi_isend /
+// mpi_irecv with its ring neighbours (a short communication phase, ~0.1%
+// of execution — the black bars in Fig. 3), then blocks in mpi_waitall.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct BtmzConfig {
+  std::size_t num_ranks = 4;
+  int num_zones = 16;
+  /// Geometric growth of zone sizes (tuned so the contiguous grouping
+  /// reproduces the paper's case-A per-rank compute shares).
+  double zone_growth = 1.19;
+  int iterations = 200;
+  /// Instructions executed per iteration by the most loaded rank.
+  double bottleneck_instructions = 8.4e8;
+  std::string kernel = std::string(isa::kKernelCfd);
+  /// Bytes exchanged with each ring neighbour per iteration.
+  std::uint64_t exchange_bytes = 200 * 1024;
+  /// Duration of the communication-setup phase per iteration.
+  SimTime comm_duration = 4e-4;
+  /// Initialisation work (white bars at the start of Fig. 3 traces), as a
+  /// fraction of one iteration's bottleneck work.
+  double init_fraction = 2.0;
+
+  void validate() const;
+};
+
+/// Normalised zone sizes (sum = 1).
+[[nodiscard]] std::vector<double> btmz_zone_sizes(const BtmzConfig& config);
+
+/// Per-rank work as a fraction of the bottleneck rank's work (contiguous
+/// zone grouping, ascending sizes — the paper's imbalanced distribution).
+[[nodiscard]] std::vector<double> btmz_rank_share(const BtmzConfig& config);
+
+/// Fraction of the whole mesh owned by the bottleneck rank. Use it to
+/// keep the total mesh size fixed when changing the rank count (e.g. the
+/// paper's ST-mode run with 2 ranks):
+///   st.bottleneck_instructions = base.bottleneck_instructions *
+///       btmz_bottleneck_fraction(st) / btmz_bottleneck_fraction(base);
+[[nodiscard]] double btmz_bottleneck_fraction(const BtmzConfig& config);
+
+[[nodiscard]] mpisim::Application build_btmz(const BtmzConfig& config);
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,33 @@
+#include "workloads/fig1.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::workloads {
+
+void Fig1Config::validate() const {
+  SMTBAL_REQUIRE(slow_factor >= 1.0, "slow_factor must be >= 1");
+  SMTBAL_REQUIRE(base_instructions > 0.0, "base_instructions must be > 0");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+}
+
+mpisim::Application build_fig1(const Fig1Config& config) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.kernel).id;
+
+  mpisim::Application app;
+  app.name = "fig1-synthetic";
+  app.ranks.resize(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    auto& program = app.ranks[r];
+    const double work = config.base_instructions *
+                        (r == 0 ? config.slow_factor : 1.0);
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, work);
+      program.barrier();
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

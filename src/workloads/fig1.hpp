@@ -1,0 +1,25 @@
+// The paper's Figure 1 synthetic example: four processes, two per core;
+// P2, P3 and P4 reach the synchronisation point at roughly the same time
+// while P1 computes for much longer — prioritising P1 (and deprioritising
+// its core-mate P2) shortens the whole application.
+#pragma once
+
+#include <string>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct Fig1Config {
+  /// How much longer P1 computes than the other three processes.
+  double slow_factor = 2.5;
+  double base_instructions = 6.0e9;
+  int iterations = 4;
+  std::string kernel = std::string(isa::kKernelHpcMixed);
+
+  void validate() const;
+};
+
+[[nodiscard]] mpisim::Application build_fig1(const Fig1Config& config);
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,48 @@
+#include "workloads/metbench.hpp"
+
+#include "common/error.hpp"
+
+namespace smtbal::workloads {
+
+void MetBenchConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2, "MetBench needs at least two ranks");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+  SMTBAL_REQUIRE(heavy_instructions > 0.0, "heavy_instructions must be > 0");
+  SMTBAL_REQUIRE(light_fraction > 0.0 && light_fraction <= 1.0,
+                 "light_fraction must be in (0,1]");
+  SMTBAL_REQUIRE(heavy.empty() || heavy.size() == num_ranks,
+                 "heavy vector must match num_ranks");
+  SMTBAL_REQUIRE(stat_duration >= 0.0, "stat_duration must be >= 0");
+}
+
+bool MetBenchConfig::is_heavy(std::size_t rank) const {
+  if (!heavy.empty()) return heavy[rank];
+  // Default: the second context of each core hosts the heavy worker
+  // (P2 and P4 in the paper's 4-rank experiment).
+  return rank % 2 == 1;
+}
+
+mpisim::Application build_metbench(const MetBenchConfig& config) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+
+  mpisim::Application app;
+  app.name = "MetBench";
+  app.ranks.resize(config.num_ranks);
+
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    const double load = config.is_heavy(r)
+                            ? config.heavy_instructions
+                            : config.heavy_instructions * config.light_fraction;
+    auto& program = app.ranks[r];
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, load);
+      program.delay(config.stat_duration, trace::RankState::kStat);
+      program.barrier();
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

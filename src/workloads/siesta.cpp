@@ -1,0 +1,84 @@
+#include "workloads/siesta.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace smtbal::workloads {
+
+void SiestaConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2, "SIESTA needs at least two ranks");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+  SMTBAL_REQUIRE(mean_iteration_instructions > 0.0,
+                 "mean_iteration_instructions must be > 0");
+  SMTBAL_REQUIRE(rank_bias.size() == num_ranks,
+                 "rank_bias must have one entry per rank");
+  SMTBAL_REQUIRE(variability >= 0.0 && variability < 1.0,
+                 "variability must be in [0,1)");
+  SMTBAL_REQUIRE(init_iterations >= 0.0 && final_iterations >= 0.0,
+                 "init/final work must be >= 0");
+}
+
+std::vector<std::vector<double>> siesta_iteration_loads(
+    const SiestaConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  std::vector<std::vector<double>> loads(
+      static_cast<std::size_t>(config.iterations));
+  for (auto& iteration : loads) {
+    iteration.resize(config.num_ranks);
+    for (std::size_t r = 0; r < config.num_ranks; ++r) {
+      const double jitter =
+          1.0 + config.variability * (2.0 * rng.uniform() - 1.0);
+      iteration[r] =
+          config.mean_iteration_instructions * config.rank_bias[r] * jitter;
+    }
+  }
+  return loads;
+}
+
+mpisim::Application build_siesta(const SiestaConfig& config) {
+  const auto loads = siesta_iteration_loads(config);
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.kernel).id;
+
+  mpisim::Application app;
+  app.name = "SIESTA";
+  app.ranks.resize(config.num_ranks);
+
+  const auto rank_id = [](std::size_t r) {
+    return RankId{static_cast<std::uint32_t>(r)};
+  };
+
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    auto& program = app.ranks[r];
+    const double mean =
+        config.mean_iteration_instructions * config.rank_bias[r];
+
+    // Initialisation: mildly imbalanced (the input set is uneven), ends
+    // at a global barrier.
+    program.compute(kernel, mean * config.init_iterations,
+                    trace::RankState::kInit);
+    program.barrier();
+
+    // SCF iterations: compute, then exchange with a subset of ranks (the
+    // ring neighbours here) and wait for completion.
+    const std::size_t left = (r + config.num_ranks - 1) % config.num_ranks;
+    const std::size_t right = (r + 1) % config.num_ranks;
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, loads[static_cast<std::size_t>(i)][r]);
+      program.recv(rank_id(left), config.exchange_bytes, i);
+      program.recv(rank_id(right), config.exchange_bytes, i);
+      program.send(rank_id(left), config.exchange_bytes, i);
+      program.send(rank_id(right), config.exchange_bytes, i);
+      program.wait_all();
+    }
+
+    // Finalisation: last barrier, then each rank computes its final part
+    // and exits.
+    program.barrier();
+    program.compute(kernel, mean * config.final_iterations);
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

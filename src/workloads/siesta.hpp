@@ -1,0 +1,50 @@
+// SIESTA model — paper §VII-C.
+//
+// SIESTA (ab-initio order-N materials simulation) is the paper's "real
+// application": an initialisation phase (~12% of runtime, already mildly
+// imbalanced), a series of SCF iterations whose per-rank load *varies
+// from iteration to iteration* (the bottleneck rank rotates — the reason
+// a static priority assignment helps less than for BT-MZ), and a
+// finalisation phase (~13% of runtime). Each iteration ends with data
+// exchange against a subset of ranks followed by a WaitAll.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct SiestaConfig {
+  std::size_t num_ranks = 4;
+  int iterations = 24;
+  /// Mean per-iteration instructions per rank.
+  double mean_iteration_instructions = 6.5e9;
+  /// Static per-rank load bias (the paper's case A shows P4 computing the
+  /// most on average: shares ~{0.81, 0.80, 0.88, 1.0}).
+  std::vector<double> rank_bias{0.62, 0.74, 0.80, 1.0};
+  /// Per-iteration multiplicative load variability in [0,1): each rank's
+  /// load is bias * (1 +/- variability), with the draw changing every
+  /// iteration — this rotates the bottleneck.
+  double variability = 0.30;
+  std::uint64_t seed = 0x51E57Aull;
+  std::string kernel = std::string(isa::kKernelDft);
+  /// Initialisation / finalisation work as multiples of one mean iteration.
+  double init_iterations = 3.2;
+  double final_iterations = 3.6;
+  /// Per-iteration neighbour exchange size.
+  std::uint64_t exchange_bytes = 64 * 1024;
+
+  void validate() const;
+};
+
+/// The per-iteration, per-rank instruction counts the generator will use
+/// (exposed so tests and the dynamic-balancer ablation can inspect the
+/// bottleneck rotation).
+[[nodiscard]] std::vector<std::vector<double>> siesta_iteration_loads(
+    const SiestaConfig& config);
+
+[[nodiscard]] mpisim::Application build_siesta(const SiestaConfig& config);
+
+}  // namespace smtbal::workloads

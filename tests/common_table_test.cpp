@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable table({"a", "b", "c"});
+  EXPECT_EQ(table.columns(), 3u);
+  table.add_row({"1", "2", "3"});
+  table.add_separator();
+  table.add_row({"4", "5", "6"});
+  EXPECT_EQ(table.rows(), 3u);  // separator counts as a row entry
+}
+
+TEST(TextTable, RenderContainsAllCells) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable table({"x"});
+  table.add_row({"short"});
+  table.add_row({"a-much-longer-cell"});
+  const std::string out = table.render();
+  // Every line must have equal length (alignment).
+  std::istringstream stream(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(stream, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+  }
+}
+
+TEST(TextTable, SeparatorRendersAsLine) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // header sep ('=') plus at least three '-' lines (top, middle, bottom).
+  EXPECT_GE(std::count(out.begin(), out.end(), '='), 1);
+}
+
+TEST(TextTable, NumFormatsFixedDigits) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctScalesFraction) {
+  EXPECT_EQ(TextTable::pct(0.7569), "75.69");
+  EXPECT_EQ(TextTable::pct(1.0), "100.00");
+  EXPECT_EQ(TextTable::pct(0.0), "0.00");
+}
+
+}  // namespace
+}  // namespace smtbal

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/advisor.hpp"
+#include "core/balancer.hpp"
+#include "core/dynamic_policy.hpp"
+#include "core/static_policy.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::core {
+namespace {
+
+isa::KernelId kid() {
+  return isa::KernelRegistry::instance().by_name(isa::kKernelHpcMixed).id;
+}
+
+mpisim::EngineConfig fast_config() {
+  mpisim::EngineConfig config;
+  config.sampler = {.warmup_cycles = 20000, .window_cycles = 80000, .seed = 1};
+  return config;
+}
+
+Balancer& shared_balancer() {
+  static Balancer balancer(fast_config());
+  return balancer;
+}
+
+/// Two ranks on one core, rank 0 does 4x the work — a statically
+/// imbalanced app the policies should fix.
+mpisim::Application imbalanced_pair(int iterations = 6, double ratio = 4.0) {
+  mpisim::Application app;
+  app.ranks.resize(2);
+  for (int i = 0; i < iterations; ++i) {
+    app.ranks[0].compute(kid(), 2e8 * ratio).barrier();
+    app.ranks[1].compute(kid(), 2e8).barrier();
+  }
+  return app;
+}
+
+const mpisim::Placement kPair = mpisim::Placement::from_linear({0, 1});
+
+TEST(StaticPolicy, RejectsBadPriorities) {
+  EXPECT_THROW(StaticPriorityPolicy({}), InvalidArgument);
+  EXPECT_THROW(StaticPriorityPolicy({0}), InvalidArgument);
+  EXPECT_THROW(StaticPriorityPolicy({7}), InvalidArgument);
+}
+
+TEST(StaticPolicy, RejectsSizeMismatchAtRun) {
+  StaticPriorityPolicy policy({4, 4, 4});
+  EXPECT_THROW(shared_balancer().run(imbalanced_pair(1), kPair, &policy),
+               InvalidArgument);
+}
+
+TEST(StaticPolicy, AppliesPrioritiesAndImprovesImbalancedApp) {
+  const auto baseline = shared_balancer().run(imbalanced_pair(), kPair);
+  // One level of difference is the sweet spot for a 4:1 load ratio: the
+  // favored thread saturates quickly, so wider gaps only starve the
+  // light rank for no further gain (paper Case D).
+  StaticPriorityPolicy policy({5, 4});
+  const auto balanced =
+      shared_balancer().run(imbalanced_pair(), kPair, &policy);
+  EXPECT_LT(balanced.exec_time, baseline.exec_time * 0.92);
+  EXPECT_LT(balanced.imbalance, baseline.imbalance);
+}
+
+TEST(StaticPolicy, WrongDirectionHurts) {
+  const auto baseline = shared_balancer().run(imbalanced_pair(), kPair);
+  StaticPriorityPolicy policy({4, 6});  // favors the light rank
+  const auto inverted =
+      shared_balancer().run(imbalanced_pair(), kPair, &policy);
+  EXPECT_GT(inverted.exec_time, baseline.exec_time * 1.1);
+}
+
+TEST(DynamicBalancer, ConfigValidation) {
+  DynamicBalancerConfig config;
+  config.max_diff = 0;
+  EXPECT_THROW(DynamicBalancer{config}, InvalidArgument);
+  config = DynamicBalancerConfig{};
+  config.high_priority = 7;
+  EXPECT_THROW(DynamicBalancer{config}, InvalidArgument);
+  config = DynamicBalancerConfig{};
+  config.wait_gap_threshold = 0.0;
+  EXPECT_THROW(DynamicBalancer{config}, InvalidArgument);
+  config = DynamicBalancerConfig{};
+  config.smoothing = 0.0;
+  EXPECT_THROW(DynamicBalancer{config}, InvalidArgument);
+}
+
+TEST(DynamicBalancer, ImprovesStaticallyImbalancedApp) {
+  const auto baseline =
+      shared_balancer().run(imbalanced_pair(10, 5.0), kPair);
+  DynamicBalancerConfig config;
+  config.max_diff = 2;
+  DynamicBalancer policy(config);
+  const auto balanced =
+      shared_balancer().run(imbalanced_pair(10, 5.0), kPair, &policy);
+  EXPECT_LT(balanced.exec_time, baseline.exec_time * 0.95);
+  EXPECT_GT(policy.adjustments(), 0u);
+}
+
+TEST(DynamicBalancer, LeavesBalancedAppAlone) {
+  mpisim::Application app;
+  app.ranks.resize(2);
+  for (int i = 0; i < 6; ++i) {
+    app.ranks[0].compute(kid(), 4e8).barrier();
+    app.ranks[1].compute(kid(), 4e8).barrier();
+  }
+  DynamicBalancer policy;
+  const auto result = shared_balancer().run(app, kPair, &policy);
+  EXPECT_EQ(policy.adjustments(), 0u);
+  EXPECT_LT(result.imbalance, 0.1);
+}
+
+TEST(DynamicBalancer, ConvergesInsteadOfFlapping) {
+  DynamicBalancer policy;
+  (void)shared_balancer().run(imbalanced_pair(12), kPair, &policy);
+  // A convergent controller changes priorities a bounded number of times,
+  // not once per epoch.
+  EXPECT_LE(policy.adjustments(), 8u);
+}
+
+TEST(DynamicBalancer, RespectsMaxDiff) {
+  // With max_diff 1 the starved rank may never drop below high-1.
+  class PriorityProbe final : public mpisim::BalancePolicy {
+   public:
+    explicit PriorityProbe(DynamicBalancer& inner) : inner_(inner) {}
+    [[nodiscard]] std::string_view name() const override { return "probe"; }
+    void on_start(mpisim::EngineControl& control) override {
+      inner_.on_start(control);
+    }
+    void on_epoch(mpisim::EngineControl& control,
+                  const mpisim::EpochReport& report) override {
+      inner_.on_epoch(control, report);
+      const int p1 = control.rank_priority(RankId{1});
+      const int p0 = control.rank_priority(RankId{0});
+      // Priority 0 means the rank's process already exited (ST mode).
+      if (p1 > 0 && p0 > 0) {
+        min_seen = std::min(min_seen, p1);
+        max_seen = std::max(max_seen, p0);
+        max_gap = std::max(max_gap, p0 - p1);
+      }
+    }
+    DynamicBalancer& inner_;
+    int min_seen = 6;
+    int max_seen = 1;
+    int max_gap = 0;
+  };
+
+  DynamicBalancerConfig config;
+  config.max_diff = 1;
+  DynamicBalancer inner(config);
+  PriorityProbe probe(inner);
+  (void)shared_balancer().run(imbalanced_pair(10, 5.0), kPair, &probe);
+  // Priorities are either the default (4,4) or a single-step gap (6,5):
+  // the starved rank never drops below high_priority - max_diff.
+  EXPECT_GE(probe.min_seen, 4);
+  EXPECT_LE(probe.max_seen, 6);
+  EXPECT_LE(probe.max_gap, 1);
+  EXPECT_GE(probe.max_gap, 1) << "a gap must actually have been applied";
+}
+
+TEST(Balancer, RunWithoutPolicyUsesDefaults) {
+  const auto result = shared_balancer().run(imbalanced_pair(1), kPair);
+  EXPECT_GT(result.exec_time, 0.0);
+}
+
+TEST(Balancer, SamplerSharedAcrossRuns) {
+  Balancer balancer(fast_config());
+  (void)balancer.run(imbalanced_pair(1), kPair);
+  const auto misses_before = balancer.sampler().stats().misses;
+  (void)balancer.run(imbalanced_pair(1), kPair);
+  EXPECT_EQ(balancer.sampler().stats().misses, misses_before)
+      << "second identical run must be fully memoised";
+}
+
+TEST(Balancer, SetConfigKeepsSamplerForSameChip) {
+  Balancer balancer(fast_config());
+  (void)balancer.run(imbalanced_pair(1), kPair);
+  auto* sampler_before = &balancer.sampler();
+  mpisim::EngineConfig config = fast_config();
+  config.barrier_latency = 1e-5;  // non-chip change
+  balancer.set_config(config);
+  EXPECT_EQ(&balancer.sampler(), sampler_before);
+
+  config.chip.core.gct_entries = 64;  // chip change => new sampler domain
+  balancer.set_config(config);
+  EXPECT_NE(&balancer.sampler(), sampler_before);
+}
+
+TEST(Advisor, FindsTheObviousAssignment) {
+  Balancer balancer(fast_config());
+  PriorityAdvisor advisor(balancer);
+  AdvisorConfig config;
+  // A 4:1 load ratio is best served by one level of difference (the
+  // favored thread saturates; see the paper's Case D for wider gaps).
+  config.priority_levels = {4, 5};
+  const auto results = advisor.search(imbalanced_pair(3), config);
+  ASSERT_EQ(results.size(), 4u);
+  // Best configuration favors the heavy rank 0.
+  EXPECT_EQ(results.front().priorities[0], 5);
+  EXPECT_EQ(results.front().priorities[1], 4);
+  // Results are sorted by execution time.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].exec_time, results[i - 1].exec_time);
+  }
+  // Worst is the inverted assignment.
+  EXPECT_EQ(results.back().priorities[0], 4);
+  EXPECT_EQ(results.back().priorities[1], 5);
+}
+
+TEST(Advisor, SearchSpaceGuard) {
+  Balancer balancer(fast_config());
+  PriorityAdvisor advisor(balancer);
+  AdvisorConfig config;
+  config.priority_levels = {1, 2, 3, 4, 5, 6};
+  config.max_candidates = 10;
+  EXPECT_THROW(advisor.search(imbalanced_pair(1), config), InvalidArgument);
+}
+
+TEST(Advisor, DescribeFormatsCandidate) {
+  AdvisorCandidate candidate;
+  candidate.placement = mpisim::Placement::from_linear({0, 2});
+  candidate.priorities = {6, 4};
+  EXPECT_EQ(describe(candidate), "cpus[0,2] prio[6,4]");
+}
+
+TEST(Advisor, ConfigValidation) {
+  AdvisorConfig config;
+  config.priority_levels = {};
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = AdvisorConfig{};
+  config.priority_levels = {0};
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smtbal::core

@@ -1,0 +1,185 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace smtbal::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 B.
+  return CacheConfig{.name = "test",
+                     .size_bytes = 512,
+                     .line_bytes = 64,
+                     .associativity = 2,
+                     .hit_latency = 1};
+}
+
+TEST(CacheConfig, ValidatesGoodConfig) {
+  EXPECT_NO_THROW(small_cache().validate());
+  EXPECT_EQ(small_cache().num_sets(), 4u);
+}
+
+TEST(CacheConfig, RejectsNonPowerOfTwoLine) {
+  CacheConfig cfg = small_cache();
+  cfg.line_bytes = 48;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CacheConfig, RejectsZeroAssociativity) {
+  CacheConfig cfg = small_cache();
+  cfg.associativity = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CacheConfig, RejectsNonDivisibleSize) {
+  CacheConfig cfg = small_cache();
+  cfg.size_bytes = 500;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CacheConfig, RejectsNonPowerOfTwoSets) {
+  CacheConfig cfg = small_cache();
+  cfg.size_bytes = 384;  // 3 sets
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1038, false));  // same 64B line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately) {
+  Cache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x0, false));
+  EXPECT_FALSE(cache.access(0x40, false));
+  EXPECT_TRUE(cache.access(0x0, false));
+  EXPECT_TRUE(cache.access(0x40, false));
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache cache(small_cache());
+  // Set 0 holds lines whose (address / 64) % 4 == 0: strides of 256.
+  cache.access(0x000, false);  // A
+  cache.access(0x100, false);  // B — set full (2 ways)
+  cache.access(0x000, false);  // touch A: B becomes LRU
+  cache.access(0x200, false);  // C evicts B
+  EXPECT_TRUE(cache.probe(0x000));
+  EXPECT_FALSE(cache.probe(0x100));
+  EXPECT_TRUE(cache.probe(0x200));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, DirtyEvictionCounted) {
+  Cache cache(small_cache());
+  cache.access(0x000, true);   // dirty A
+  cache.access(0x100, false);  // clean B
+  cache.access(0x200, false);  // evicts A (LRU), dirty
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+  cache.access(0x300, false);  // evicts B, clean
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache cache(small_cache());
+  cache.access(0x000, false);  // clean fill
+  cache.access(0x000, true);   // write hit → dirty
+  cache.access(0x100, false);
+  cache.access(0x200, false);  // evicts A
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, ProbeDoesNotMutate) {
+  Cache cache(small_cache());
+  cache.access(0x000, false);
+  cache.access(0x100, false);
+  // Probing A must NOT refresh its LRU position.
+  EXPECT_TRUE(cache.probe(0x000));
+  cache.access(0x200, false);  // evicts A (still LRU despite probe)
+  EXPECT_FALSE(cache.probe(0x000));
+  // Stats unchanged by probes.
+  EXPECT_EQ(cache.stats().accesses(), 3u);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache cache(small_cache());
+  cache.access(0x000, false);
+  cache.access(0x040, false);
+  EXPECT_EQ(cache.valid_lines(), 2u);
+  cache.flush();
+  EXPECT_EQ(cache.valid_lines(), 0u);
+  EXPECT_FALSE(cache.probe(0x000));
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  Cache cache(small_cache());
+  cache.access(0x000, false);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses(), 0u);
+  EXPECT_TRUE(cache.probe(0x000));
+}
+
+TEST(Cache, MissRateComputation) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.stats().miss_rate(), 0.0);
+  cache.access(0x000, false);
+  cache.access(0x000, false);
+  cache.access(0x000, false);
+  cache.access(0x000, false);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(Cache, FullyOccupiedWorkingSetFits) {
+  Cache cache(small_cache());
+  // 8 lines total (512B / 64B): a 512B working set must all fit.
+  for (std::uint64_t addr = 0; addr < 512; addr += 64) cache.access(addr, false);
+  EXPECT_EQ(cache.valid_lines(), 8u);
+  for (std::uint64_t addr = 0; addr < 512; addr += 64) {
+    EXPECT_TRUE(cache.access(addr, false)) << "addr " << addr;
+  }
+}
+
+TEST(Cache, CyclicOverCapacityThrashes) {
+  Cache cache(small_cache());
+  // 16 lines cycled through an 8-line cache with LRU: every access misses.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t addr = 0; addr < 1024; addr += 64) {
+      cache.access(addr, false);
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(CacheGeometrySweep, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  const auto [size, assoc] = GetParam();
+  Cache cache(CacheConfig{.name = "sweep",
+                          .size_bytes = size,
+                          .line_bytes = 64,
+                          .associativity = assoc,
+                          .hit_latency = 1});
+  const std::uint64_t lines = size / 64;
+  for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64, false);
+  cache.reset_stats();
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) cache.access(i * 64, false);
+  }
+  EXPECT_EQ(cache.stats().misses, 0u)
+      << "size=" << size << " assoc=" << assoc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Combine(::testing::Values(512ULL, 4096ULL, 32768ULL),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace smtbal::mem

@@ -1,0 +1,125 @@
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace smtbal::mem {
+namespace {
+
+HierarchyConfig tiny_hierarchy() {
+  HierarchyConfig cfg;
+  cfg.num_cores = 2;
+  cfg.l1d = {.name = "L1D", .size_bytes = 1024, .line_bytes = 64,
+             .associativity = 2, .hit_latency = 2};
+  cfg.l2 = {.name = "L2", .size_bytes = 8192, .line_bytes = 64,
+            .associativity = 4, .hit_latency = 13};
+  cfg.l3 = {.name = "L3", .size_bytes = 65536, .line_bytes = 64,
+            .associativity = 8, .hit_latency = 87};
+  cfg.memory_latency = 230;
+  return cfg;
+}
+
+TEST(HierarchyConfig, DefaultValidates) {
+  EXPECT_NO_THROW(HierarchyConfig{}.validate());
+}
+
+TEST(HierarchyConfig, RejectsMismatchedLineSizes) {
+  HierarchyConfig cfg = tiny_hierarchy();
+  cfg.l2.line_bytes = 128;
+  cfg.l2.size_bytes = 8192;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(HierarchyConfig, RejectsZeroCores) {
+  HierarchyConfig cfg = tiny_hierarchy();
+  cfg.num_cores = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(Hierarchy, ColdAccessGoesToMemory) {
+  Hierarchy h(tiny_hierarchy());
+  const AccessResult r = h.access(0, 0x10000, false);
+  EXPECT_EQ(r.level, 4);
+  EXPECT_EQ(r.latency, 2u + 13u + 87u + 230u);
+  EXPECT_EQ(h.memory_accesses(), 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h(tiny_hierarchy());
+  h.access(0, 0x10000, false);
+  const AccessResult r = h.access(0, 0x10000, false);
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2) {
+  Hierarchy h(tiny_hierarchy());
+  // L1 is 1 KiB (16 lines); walk 32 lines to evict the first, then
+  // re-access it: L1 misses but L2 (8 KiB) still holds it.
+  h.access(0, 0, false);
+  for (std::uint64_t addr = 64; addr < 64 * 32; addr += 64) {
+    h.access(0, addr, false);
+  }
+  const AccessResult r = h.access(0, 0, false);
+  EXPECT_EQ(r.level, 2);
+  EXPECT_EQ(r.latency, 2u + 13u);
+}
+
+TEST(Hierarchy, PrivateL1PerCore) {
+  Hierarchy h(tiny_hierarchy());
+  h.access(0, 0x2000, false);  // core 0 warms its L1 + shared L2
+  const AccessResult r = h.access(1, 0x2000, false);
+  // Core 1 misses its own L1 but hits the shared L2.
+  EXPECT_EQ(r.level, 2);
+  EXPECT_EQ(h.l1d(1).stats().misses, 1u);
+  EXPECT_EQ(h.l1d(0).stats().misses, 1u);
+}
+
+TEST(Hierarchy, SharedL2VisibleFromBothCores) {
+  Hierarchy h(tiny_hierarchy());
+  h.access(0, 0x3000, false);
+  EXPECT_TRUE(h.l2().probe(0x3000));
+  h.access(1, 0x3000, false);
+  EXPECT_EQ(h.l2().stats().hits, 1u);
+}
+
+TEST(Hierarchy, RejectsBadCoreIndex) {
+  Hierarchy h(tiny_hierarchy());
+  EXPECT_THROW(h.access(2, 0, false), InvalidArgument);
+  EXPECT_THROW(h.l1d(2), InvalidArgument);
+}
+
+TEST(Hierarchy, ResetClearsEverything) {
+  Hierarchy h(tiny_hierarchy());
+  h.access(0, 0x4000, false);
+  h.reset();
+  EXPECT_EQ(h.memory_accesses(), 0u);
+  EXPECT_EQ(h.l1d(0).stats().accesses(), 0u);
+  EXPECT_FALSE(h.l2().probe(0x4000));
+  const AccessResult r = h.access(0, 0x4000, false);
+  EXPECT_EQ(r.level, 4);
+}
+
+TEST(Hierarchy, LatencyAccumulatesThroughLevels) {
+  Hierarchy h(tiny_hierarchy());
+  // Warm L3 only: walk a set larger than L2 but within L3.
+  for (std::uint64_t addr = 0; addr < 16384; addr += 64) h.access(0, addr, false);
+  // The first lines were evicted from L1 and L2 but live in L3 (64 KiB).
+  const AccessResult r = h.access(0, 0, false);
+  EXPECT_EQ(r.level, 3);
+  EXPECT_EQ(r.latency, 2u + 13u + 87u);
+}
+
+TEST(Hierarchy, WritesPropagateDirtyState) {
+  Hierarchy h(tiny_hierarchy());
+  h.access(0, 0x5000, true);
+  // Evict from L1 by walking; the dirty line should count in L1 stats.
+  for (std::uint64_t addr = 0x6000; addr < 0x6000 + 64 * 32; addr += 64) {
+    h.access(0, addr, false);
+  }
+  EXPECT_GE(h.l1d(0).stats().dirty_evictions, 1u);
+}
+
+}  // namespace
+}  // namespace smtbal::mem

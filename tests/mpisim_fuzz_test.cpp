@@ -1,0 +1,206 @@
+// Property tests over randomly generated (but structurally valid) MPI
+// applications: for any app the engine must terminate, conserve trace
+// time, respect collective semantics and be bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "isa/kernel.hpp"
+#include "mpisim/engine.hpp"
+
+namespace smtbal::mpisim {
+namespace {
+
+EngineConfig fuzz_config() {
+  EngineConfig config;
+  config.sampler = {.warmup_cycles = 20000, .window_cycles = 80000, .seed = 1};
+  return config;
+}
+
+std::shared_ptr<smt::ThroughputSampler> fuzz_sampler() {
+  static auto sampler = std::make_shared<smt::ThroughputSampler>(
+      fuzz_config().chip, fuzz_config().sampler);
+  return sampler;
+}
+
+/// Generates a random SPMD app: a shared skeleton of collective /
+/// exchange steps with per-rank random work. Always passes validate().
+Application random_app(std::uint64_t seed, std::size_t num_ranks = 4) {
+  Rng rng(seed);
+  Application app;
+  app.name = "fuzz-" + std::to_string(seed);
+  app.ranks.resize(num_ranks);
+  const auto& registry = isa::KernelRegistry::instance();
+  const std::vector<isa::KernelId> kernels = {
+      registry.by_name(isa::kKernelHpcMixed).id,
+      registry.by_name(isa::kKernelCfd).id,
+      registry.by_name(isa::kKernelDft).id,
+      registry.by_name(isa::kKernelIntStress).id,
+  };
+
+  const int steps = static_cast<int>(rng.range(2, 6));
+  for (int step = 0; step < steps; ++step) {
+    const isa::KernelId kernel = kernels[rng.below(kernels.size())];
+    const int kind = static_cast<int>(rng.below(3));
+    // Every rank gets the same skeleton with random work.
+    std::vector<double> work(num_ranks);
+    for (auto& w : work) w = 1e7 + rng.uniform() * 2e8;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      app.ranks[r].compute(kernel, work[r]);
+      switch (kind) {
+        case 0:
+          app.ranks[r].barrier();
+          break;
+        case 1:
+          app.ranks[r].allreduce(64);
+          break;
+        case 2: {
+          const RankId left{static_cast<std::uint32_t>(
+              (r + num_ranks - 1) % num_ranks)};
+          const RankId right{static_cast<std::uint32_t>((r + 1) % num_ranks)};
+          app.ranks[r].recv(left, 1024, step);
+          app.ranks[r].send(right, 1024, step);
+          app.ranks[r].wait_all();
+          break;
+        }
+      }
+    }
+  }
+  return app;
+}
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, TerminatesAndTraceIsConsistent) {
+  const Application app = random_app(GetParam());
+  ASSERT_NO_THROW(app.validate());
+  Engine engine(app, Placement::identity(app.size()), fuzz_config(),
+                fuzz_sampler());
+  const RunResult result = engine.run();
+
+  EXPECT_GT(result.exec_time, 0.0);
+  EXPECT_GE(result.imbalance, 0.0);
+  EXPECT_LE(result.imbalance, 1.0);
+
+  for (std::uint32_t r = 0; r < app.size(); ++r) {
+    const auto& timeline = result.trace.timeline(RankId{r});
+    ASSERT_FALSE(timeline.empty());
+    // Timeline is monotone and inside [0, exec_time].
+    SimTime cursor = 0.0;
+    for (const auto& interval : timeline) {
+      EXPECT_GE(interval.begin, cursor - 1e-12);
+      EXPECT_GE(interval.duration(), 0.0);
+      cursor = interval.end;
+    }
+    EXPECT_LE(cursor, result.exec_time + 1e-9);
+    // Every rank computed something.
+    EXPECT_GT(result.trace.stats(RankId{r}).comp_fraction(), 0.0);
+  }
+}
+
+TEST_P(EngineFuzz, DeterministicAcrossRuns) {
+  const Application app = random_app(GetParam());
+  const auto once = [&] {
+    Engine engine(app, Placement::identity(app.size()), fuzz_config(),
+                  fuzz_sampler());
+    return engine.run();
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_DOUBLE_EQ(a.exec_time, b.exec_time);
+  EXPECT_DOUBLE_EQ(a.imbalance, b.imbalance);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST_P(EngineFuzz, PrioritiesNeverSlowTheAppBelowStarvationBound) {
+  // Sanity bound: any legal static priority assignment changes execution
+  // time by at most the worst-case starvation factor of a gap-2
+  // assignment (~4x) — catches runaway feedback in the co-simulation.
+  const Application app = random_app(GetParam());
+  Engine baseline_engine(app, Placement::identity(app.size()), fuzz_config(),
+                         fuzz_sampler());
+  const double baseline = baseline_engine.run().exec_time;
+
+  class Gap2 final : public BalancePolicy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "gap2"; }
+    void on_start(EngineControl& control) override {
+      for (std::size_t r = 0; r < control.num_ranks(); ++r) {
+        control.set_rank_priority(RankId{static_cast<std::uint32_t>(r)},
+                                  r % 2 == 0 ? 4 : 6);
+      }
+    }
+  } policy;
+  Engine engine(app, Placement::identity(app.size()), fuzz_config(),
+                fuzz_sampler());
+  engine.set_policy(&policy);
+  const double skewed = engine.run().exec_time;
+  EXPECT_LT(skewed, baseline * 5.0);
+  EXPECT_GT(skewed, baseline * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL,
+                                           13ULL, 21ULL, 34ULL));
+
+TEST(EngineAllreduce, SynchronisesLikeABarrier) {
+  const auto kernel =
+      isa::KernelRegistry::instance().by_name(isa::kKernelHpcMixed).id;
+  Application app;
+  app.ranks.resize(2);
+  app.ranks[0].compute(kernel, 4e8).allreduce(1024).compute(kernel, 1e8);
+  app.ranks[1].compute(kernel, 1e8).allreduce(1024).compute(kernel, 1e8);
+  Engine engine(app, Placement::from_linear({0, 2}), fuzz_config(),
+                fuzz_sampler());
+  const RunResult result = engine.run();
+  EXPECT_GT(result.trace.stats(RankId{1}).sync_fraction(), 0.3);
+}
+
+TEST(EngineAllreduce, CostsMoreThanABarrier) {
+  const auto kernel =
+      isa::KernelRegistry::instance().by_name(isa::kKernelHpcMixed).id;
+  const auto build = [&](bool reduce) {
+    Application app;
+    app.ranks.resize(4);
+    for (auto& rank : app.ranks) {
+      for (int i = 0; i < 50; ++i) {
+        rank.compute(kernel, 1e6);
+        if (reduce) {
+          rank.allreduce(1 << 20);  // 1 MiB payload
+        } else {
+          rank.barrier();
+        }
+      }
+    }
+    return app;
+  };
+  EngineConfig config = fuzz_config();
+  Engine barrier_engine(build(false), Placement::identity(4), config,
+                        fuzz_sampler());
+  Engine reduce_engine(build(true), Placement::identity(4), config,
+                       fuzz_sampler());
+  const double with_barrier = barrier_engine.run().exec_time;
+  const double with_reduce = reduce_engine.run().exec_time;
+  EXPECT_GT(with_reduce, with_barrier * 1.5);
+}
+
+TEST(EngineAllreduce, MismatchedPayloadRejected) {
+  Application app;
+  app.ranks.resize(2);
+  app.ranks[0].allreduce(8);
+  app.ranks[1].allreduce(16);
+  EXPECT_THROW(app.validate(), InvalidArgument);
+}
+
+TEST(EngineAllreduce, MixedCollectiveOrderRejected) {
+  Application app;
+  app.ranks.resize(2);
+  app.ranks[0].barrier().allreduce(8);
+  app.ranks[1].allreduce(8).barrier();
+  EXPECT_THROW(app.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smtbal::mpisim

@@ -1,0 +1,35 @@
+#include "mpisim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace smtbal::mpisim {
+namespace {
+
+TEST(Network, ArrivalIsSendPlusLatencyPlusTransfer) {
+  Network network(NetworkConfig{.base_latency = 1e-6,
+                                .bandwidth_bytes_per_s = 1e9});
+  // 1000 bytes at 1 GB/s = 1 us transfer.
+  EXPECT_DOUBLE_EQ(network.arrival_time(5.0, 1000), 5.0 + 1e-6 + 1e-6);
+}
+
+TEST(Network, ZeroByteMessageCostsOnlyLatency) {
+  Network network(NetworkConfig{.base_latency = 2e-6,
+                                .bandwidth_bytes_per_s = 1e9});
+  EXPECT_DOUBLE_EQ(network.arrival_time(1.0, 0), 1.0 + 2e-6);
+}
+
+TEST(Network, LargerMessagesTakeLonger) {
+  Network network{NetworkConfig{}};
+  EXPECT_LT(network.arrival_time(0.0, 1024), network.arrival_time(0.0, 1 << 20));
+}
+
+TEST(Network, RejectsBadConfig) {
+  EXPECT_THROW(Network(NetworkConfig{.base_latency = -1.0}), InvalidArgument);
+  EXPECT_THROW(Network(NetworkConfig{.bandwidth_bytes_per_s = 0.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smtbal::mpisim

@@ -1,0 +1,156 @@
+#include "smt/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::smt {
+namespace {
+
+isa::KernelId kid(std::string_view name) {
+  return isa::KernelRegistry::instance().by_name(name).id;
+}
+
+ThroughputSampler::Options fast_options() {
+  return ThroughputSampler::Options{.warmup_cycles = 5000,
+                                    .window_cycles = 20000,
+                                    .seed = 1};
+}
+
+TEST(ChipLoad, KeyDistinguishesKernels) {
+  ChipLoad a, b;
+  a.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[0] = ContextLoad{kid(isa::kKernelCfd), HwPriority::kMedium};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ChipLoad, KeyDistinguishesPriorities) {
+  ChipLoad a, b;
+  a.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kHigh};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ChipLoad, KeyDistinguishesSwappedContexts) {
+  // The regression that once collided: (hpc@6, spin@4) vs (hpc@4, spin@6).
+  ChipLoad a, b;
+  a.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kHigh};
+  a.contexts[1] = ContextLoad{kid(isa::kKernelSpinWait), HwPriority::kMedium};
+  b.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[1] = ContextLoad{kid(isa::kKernelSpinWait), HwPriority::kHigh};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ChipLoad, KeyDistinguishesContextPlacement) {
+  ChipLoad a, b;
+  a.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[2] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ChipLoad, KeyStableForEqualLoads) {
+  ChipLoad a, b;
+  a.contexts[1] = ContextLoad{kid(isa::kKernelCfd), HwPriority::kLow};
+  b.contexts[1] = ContextLoad{kid(isa::kKernelCfd), HwPriority::kLow};
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(Sampler, MemoisesRepeatedLoads) {
+  ThroughputSampler sampler(ChipConfig{}, fast_options());
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const SampleResult& first = sampler.sample(load);
+  const SampleResult& second = sampler.sample(load);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(sampler.stats().lookups, 2u);
+  EXPECT_EQ(sampler.stats().misses, 1u);
+}
+
+TEST(Sampler, IdleContextsReportZero) {
+  ThroughputSampler sampler(ChipConfig{}, fast_options());
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const SampleResult& result = sampler.sample(load);
+  EXPECT_GT(result.ipc[0], 0.0);
+  EXPECT_EQ(result.ipc[1], 0.0);
+  EXPECT_EQ(result.ipc[2], 0.0);
+  EXPECT_EQ(result.ipc[3], 0.0);
+}
+
+TEST(Sampler, InstrRateIsIpcTimesFrequency) {
+  ChipConfig cfg;
+  ThroughputSampler sampler(cfg, fast_options());
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const SampleResult& result = sampler.sample(load);
+  EXPECT_DOUBLE_EQ(result.instr_rate[0], result.ipc[0] * cfg.frequency_hz());
+}
+
+TEST(Sampler, DeterministicAcrossInstances) {
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelCfd), HwPriority::kMedium};
+  load.contexts[1] = ContextLoad{kid(isa::kKernelSpinWait), HwPriority::kMedium};
+  ThroughputSampler s1(ChipConfig{}, fast_options());
+  ThroughputSampler s2(ChipConfig{}, fast_options());
+  EXPECT_DOUBLE_EQ(s1.sample(load).ipc[0], s2.sample(load).ipc[0]);
+  EXPECT_DOUBLE_EQ(s1.sample(load).ipc[1], s2.sample(load).ipc[1]);
+}
+
+TEST(Sampler, OrderIndependentResults) {
+  // Sampling A then B must give the same rates as B then A: memoised
+  // measurements must not depend on sampler history.
+  ChipLoad a, b;
+  a.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[0] = ContextLoad{kid(isa::kKernelL2Stress), HwPriority::kMedium};
+  ThroughputSampler s1(ChipConfig{}, fast_options());
+  ThroughputSampler s2(ChipConfig{}, fast_options());
+  const double a1 = s1.sample(a).ipc[0];
+  (void)s1.sample(b);
+  (void)s2.sample(b);
+  const double a2 = s2.sample(a).ipc[0];
+  EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+TEST(Sampler, SpinKernelStealsFromComputePartner) {
+  // The mechanism behind the whole paper: a busy-waiting rank at equal
+  // priority takes decode slots from the computing rank; lowering the
+  // spinner's priority gives them back.
+  ThroughputSampler sampler(ChipConfig{}, fast_options());
+  ChipLoad alone;
+  alone.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  ChipLoad with_spin = alone;
+  with_spin.contexts[1] =
+      ContextLoad{kid(isa::kKernelSpinWait), HwPriority::kMedium};
+  ChipLoad spin_lowered = alone;
+  spin_lowered.contexts[1] =
+      ContextLoad{kid(isa::kKernelSpinWait), HwPriority::kLow};
+
+  const double solo = sampler.sample(alone).ipc[0];
+  const double vs_spin = sampler.sample(with_spin).ipc[0];
+  const double vs_lowered = sampler.sample(spin_lowered).ipc[0];
+  EXPECT_LT(vs_spin, solo * 0.95);
+  EXPECT_GT(vs_lowered, vs_spin * 1.05);
+}
+
+TEST(Sampler, CrossCoreInterferenceIsSmall) {
+  // Cores share only L2/L3; two cache-resident kernels on different cores
+  // must run at nearly solo speed.
+  ThroughputSampler sampler(ChipConfig{}, fast_options());
+  ChipLoad alone;
+  alone.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  ChipLoad both = alone;
+  both.contexts[2] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const double solo = sampler.sample(alone).ipc[0];
+  const double shared = sampler.sample(both).ipc[0];
+  EXPECT_NEAR(shared, solo, solo * 0.05);
+}
+
+TEST(Sampler, RejectsBadOptions) {
+  ThroughputSampler::Options options;
+  options.window_cycles = 0;
+  EXPECT_THROW(ThroughputSampler(ChipConfig{}, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smtbal::smt

@@ -1,0 +1,122 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+namespace {
+
+Tracer iterative_trace() {
+  // Rank 0: three compute bursts (2s, 3s, 1s) separated by syncs.
+  // Rank 1: computes the whole time.
+  Tracer tracer(2);
+  tracer.record(RankId{0}, 0.0, 2.0, RankState::kCompute);
+  tracer.record(RankId{0}, 2.0, 3.0, RankState::kSync);
+  tracer.record(RankId{0}, 3.0, 6.0, RankState::kCompute);
+  tracer.record(RankId{0}, 6.0, 7.0, RankState::kSync);
+  tracer.record(RankId{0}, 7.0, 8.0, RankState::kCompute);
+  tracer.record(RankId{1}, 0.0, 8.0, RankState::kCompute);
+  tracer.finish(8.0);
+  return tracer;
+}
+
+TEST(Summarize, AggregatesAcrossRanks) {
+  const AppSummary summary = summarize(iterative_trace());
+  EXPECT_DOUBLE_EQ(summary.exec_time, 8.0);
+  EXPECT_DOUBLE_EQ(summary.total_compute, 6.0 + 8.0);
+  EXPECT_DOUBLE_EQ(summary.total_wait, 2.0);
+  EXPECT_DOUBLE_EQ(summary.efficiency, 14.0 / 16.0);
+  EXPECT_EQ(summary.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.imbalance, 0.25);
+}
+
+TEST(Summarize, CountsInitAsCompute) {
+  Tracer tracer(1);
+  tracer.record(RankId{0}, 0.0, 1.0, RankState::kInit);
+  tracer.record(RankId{0}, 1.0, 2.0, RankState::kCompute);
+  tracer.finish(2.0);
+  EXPECT_DOUBLE_EQ(summarize(tracer).total_compute, 2.0);
+  EXPECT_DOUBLE_EQ(summarize(tracer).efficiency, 1.0);
+}
+
+TEST(Summarize, TracksPreemption) {
+  Tracer tracer(1);
+  tracer.record(RankId{0}, 0.0, 1.0, RankState::kCompute);
+  tracer.record(RankId{0}, 1.0, 1.5, RankState::kPreempted);
+  tracer.record(RankId{0}, 1.5, 2.0, RankState::kCompute);
+  tracer.finish(2.0);
+  EXPECT_DOUBLE_EQ(summarize(tracer).total_preempted, 0.5);
+}
+
+TEST(ComputeBursts, SplitsAtSyncs) {
+  const auto bursts = compute_bursts(iterative_trace(), RankId{0});
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_DOUBLE_EQ(bursts[0], 2.0);
+  EXPECT_DOUBLE_EQ(bursts[1], 3.0);
+  EXPECT_DOUBLE_EQ(bursts[2], 1.0);
+}
+
+TEST(ComputeBursts, StatIntervalsDoNotSplit) {
+  Tracer tracer(1);
+  tracer.record(RankId{0}, 0.0, 1.0, RankState::kCompute);
+  tracer.record(RankId{0}, 1.0, 1.1, RankState::kStat);
+  tracer.record(RankId{0}, 1.1, 2.0, RankState::kCompute);
+  tracer.record(RankId{0}, 2.0, 3.0, RankState::kSync);
+  tracer.finish(3.0);
+  const auto bursts = compute_bursts(tracer, RankId{0});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(bursts[0], 1.9);
+}
+
+TEST(ComputeBursts, TrailingBurstIncluded) {
+  Tracer tracer(1);
+  tracer.record(RankId{0}, 0.0, 4.0, RankState::kCompute);
+  tracer.finish(4.0);
+  const auto bursts = compute_bursts(tracer, RankId{0});
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(bursts[0], 4.0);
+}
+
+TEST(BurstStatistics, PerRankMoments) {
+  const auto stats = burst_statistics(iterative_trace());
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].count(), 3u);
+  EXPECT_DOUBLE_EQ(stats[0].mean(), 2.0);
+  EXPECT_EQ(stats[1].count(), 1u);
+}
+
+TEST(IterationVariability, ZeroForRegularApps) {
+  Tracer tracer(1);
+  for (int i = 0; i < 4; ++i) {
+    const double t = i * 2.0;
+    tracer.record(RankId{0}, t, t + 1.0, RankState::kCompute);
+    tracer.record(RankId{0}, t + 1.0, t + 2.0, RankState::kSync);
+  }
+  tracer.finish(8.0);
+  EXPECT_NEAR(iteration_variability(tracer), 0.0, 1e-12);
+}
+
+TEST(IterationVariability, PositiveForIrregularApps) {
+  EXPECT_GT(iteration_variability(iterative_trace()), 0.2);
+}
+
+TEST(Speedup, RatioOfEndTimes) {
+  Tracer fast(1), slow(1);
+  fast.record(RankId{0}, 0.0, 2.0, RankState::kCompute);
+  fast.finish(2.0);
+  slow.record(RankId{0}, 0.0, 3.0, RankState::kCompute);
+  slow.finish(3.0);
+  EXPECT_DOUBLE_EQ(speedup(slow, fast), 1.5);
+  EXPECT_DOUBLE_EQ(speedup(fast, slow), 2.0 / 3.0);
+}
+
+TEST(Speedup, RejectsEmptyCandidate) {
+  Tracer a(1), b(1);
+  a.record(RankId{0}, 0.0, 1.0, RankState::kCompute);
+  a.finish(1.0);
+  EXPECT_THROW((void)speedup(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smtbal::trace

@@ -1,0 +1,91 @@
+#include "trace/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+namespace {
+
+Tracer two_rank_trace() {
+  Tracer tracer(2);
+  tracer.record(RankId{0}, 0.0, 8.0, RankState::kCompute);
+  tracer.record(RankId{0}, 8.0, 10.0, RankState::kSync);
+  tracer.record(RankId{1}, 0.0, 2.0, RankState::kCompute);
+  tracer.record(RankId{1}, 2.0, 10.0, RankState::kSync);
+  tracer.finish(10.0);
+  return tracer;
+}
+
+TEST(Gantt, OneRowPerRank) {
+  const std::string out = render_gantt(two_rank_trace(),
+                                       {.width = 20, .show_legend = false,
+                                        .show_ruler = false});
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("P1 |"), std::string::npos);
+  EXPECT_NE(out.find("P2 |"), std::string::npos);
+}
+
+TEST(Gantt, RowsHaveRequestedWidth) {
+  const GanttOptions options{.width = 40, .show_legend = false,
+                             .show_ruler = false};
+  const std::string out = render_gantt(two_rank_trace(), options);
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line)) {
+    // "Pn |" + width + "|"
+    EXPECT_EQ(line.size(), 4 + 40 + 1);
+  }
+}
+
+TEST(Gantt, GlyphProportionsMatchStates) {
+  const GanttOptions options{.width = 10, .show_legend = false,
+                             .show_ruler = false};
+  const std::string out = render_gantt(two_rank_trace(), options);
+  std::istringstream stream(out);
+  std::string p1, p2;
+  std::getline(stream, p1);
+  std::getline(stream, p2);
+  // P1: 8/10 compute => 8 '#' then 2 '-'.
+  EXPECT_EQ(std::count(p1.begin(), p1.end(), '#'), 8);
+  EXPECT_EQ(std::count(p1.begin(), p1.end(), '-'), 2);
+  // P2: 2/10 compute.
+  EXPECT_EQ(std::count(p2.begin(), p2.end(), '#'), 2);
+  EXPECT_EQ(std::count(p2.begin(), p2.end(), '-'), 8);
+}
+
+TEST(Gantt, LegendAndRulerOptional) {
+  const std::string with_all = render_gantt(two_rank_trace(), {.width = 10});
+  EXPECT_NE(with_all.find("compute"), std::string::npos);
+  EXPECT_NE(with_all.find(" s"), std::string::npos);
+  const std::string bare = render_gantt(
+      two_rank_trace(), {.width = 10, .show_legend = false, .show_ruler = false});
+  EXPECT_EQ(bare.find("compute"), std::string::npos);
+}
+
+TEST(Gantt, CustomRowPrefix) {
+  const std::string out = render_gantt(
+      two_rank_trace(),
+      {.width = 5, .show_legend = false, .show_ruler = false,
+       .row_prefix = "rank"});
+  EXPECT_NE(out.find("rank1 |"), std::string::npos);
+}
+
+TEST(Gantt, RejectsZeroWidth) {
+  EXPECT_THROW(render_gantt(two_rank_trace(), {.width = 0}), InvalidArgument);
+}
+
+TEST(Gantt, EmptyTailRendersAsDone) {
+  Tracer tracer(1);
+  tracer.record(RankId{0}, 0.0, 1.0, RankState::kCompute);
+  tracer.finish(2.0);
+  const std::string out = render_gantt(
+      tracer, {.width = 10, .show_legend = false, .show_ruler = false});
+  // Second half of the row is "done" (spaces).
+  EXPECT_NE(out.find("     |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smtbal::trace

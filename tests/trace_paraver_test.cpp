@@ -1,0 +1,80 @@
+#include "trace/paraver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+namespace {
+
+Tracer sample_trace() {
+  Tracer tracer(2);
+  tracer.record(RankId{0}, 0.0, 0.5, RankState::kInit);
+  tracer.record(RankId{0}, 0.5, 2.0, RankState::kCompute);
+  tracer.record(RankId{1}, 0.0, 1.0, RankState::kCompute);
+  tracer.record(RankId{1}, 1.0, 2.0, RankState::kSync);
+  tracer.finish(2.0);
+  return tracer;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Paraver, HeaderFirstLine) {
+  const auto lines = lines_of(to_prv(sample_trace()));
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("#Paraver", 0), 0u);
+  // Total time in microseconds appears in the header.
+  EXPECT_NE(lines[0].find(":2000000:"), std::string::npos);
+}
+
+TEST(Paraver, OneStateRecordPerInterval) {
+  const auto lines = lines_of(to_prv(sample_trace()));
+  // 4 intervals + 1 header.
+  EXPECT_EQ(lines.size(), 5u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].rfind("1:", 0), 0u) << "state records start with 1:";
+  }
+}
+
+TEST(Paraver, RecordFieldsRoundTrip) {
+  const auto lines = lines_of(to_prv(sample_trace()));
+  // First record: rank 1 (task 1), 0..500000 us, init state code 9.
+  EXPECT_EQ(lines[1], "1:1:1:1:1:0:500000:9");
+  // Last record: rank 2 sync (code 3) 1000000..2000000.
+  EXPECT_EQ(lines[4], "1:2:1:2:1:1000000:2000000:3");
+}
+
+TEST(Paraver, TickScaleConfigurable) {
+  const auto lines = lines_of(to_prv(sample_trace(), 1e3));  // milliseconds
+  EXPECT_NE(lines[0].find(":2000:"), std::string::npos);
+}
+
+TEST(Paraver, RejectsBadTickRate) {
+  EXPECT_THROW(to_prv(sample_trace(), 0.0), InvalidArgument);
+}
+
+TEST(Paraver, StateCodesAreDistinct) {
+  std::set<int> codes;
+  for (int s = 0; s < kNumRankStates; ++s) {
+    codes.insert(prv_state_code(static_cast<RankState>(s)));
+  }
+  EXPECT_EQ(codes.size(), static_cast<std::size_t>(kNumRankStates));
+}
+
+TEST(Paraver, ComputeIsRunningState) {
+  EXPECT_EQ(prv_state_code(RankState::kCompute), 1);
+  EXPECT_EQ(prv_state_code(RankState::kSync), 3);
+  EXPECT_EQ(prv_state_code(RankState::kDone), 0);
+}
+
+}  // namespace
+}  // namespace smtbal::trace

@@ -1,0 +1,77 @@
+#include "trace/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace smtbal::trace {
+namespace {
+
+Tracer imbalanced_trace() {
+  Tracer tracer(2);
+  tracer.record(RankId{0}, 0.0, 10.0, RankState::kCompute);
+  tracer.record(RankId{1}, 0.0, 2.5, RankState::kCompute);
+  tracer.record(RankId{1}, 2.5, 10.0, RankState::kSync);
+  tracer.finish(10.0);
+  return tracer;
+}
+
+TEST(CaseReport, FromTraceExtractsMetrics) {
+  const CaseReport report =
+      CaseReport::from_trace("A", imbalanced_trace(), {1, 1}, {4, 4});
+  EXPECT_EQ(report.label, "A");
+  EXPECT_DOUBLE_EQ(report.exec_time, 10.0);
+  EXPECT_DOUBLE_EQ(report.imbalance, 0.75);
+  ASSERT_EQ(report.comp_fraction.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.comp_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.comp_fraction[1], 0.25);
+  EXPECT_DOUBLE_EQ(report.sync_fraction[1], 0.75);
+}
+
+TEST(CaseReport, RejectsMismatchedMetadata) {
+  EXPECT_THROW(CaseReport::from_trace("A", imbalanced_trace(), {1}, {4, 4}),
+               InvalidArgument);
+  EXPECT_THROW(CaseReport::from_trace("A", imbalanced_trace(), {1, 1}, {4}),
+               InvalidArgument);
+}
+
+TEST(CharacterizationTable, PaperLayout) {
+  const CaseReport a =
+      CaseReport::from_trace("A", imbalanced_trace(), {1, 2}, {4, 6});
+  const TextTable table = characterization_table({a, a});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Test"), std::string::npos);
+  EXPECT_NE(out.find("Comp %"), std::string::npos);
+  EXPECT_NE(out.find("Exec. Time"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  EXPECT_NE(out.find("P2"), std::string::npos);
+  EXPECT_NE(out.find("75.00"), std::string::npos);   // imbalance %
+  EXPECT_NE(out.find("10.00s"), std::string::npos);  // exec time
+}
+
+TEST(SummaryLine, ReportsImprovement) {
+  CaseReport reference;
+  reference.label = "A";
+  reference.exec_time = 100.0;
+  CaseReport faster;
+  faster.label = "C";
+  faster.exec_time = 92.0;
+  faster.imbalance = 0.02;
+  const std::string line = summary_line(faster, reference);
+  EXPECT_NE(line.find("case C"), std::string::npos);
+  EXPECT_NE(line.find("+8.00% improvement vs A"), std::string::npos);
+}
+
+TEST(SummaryLine, ReportsLoss) {
+  CaseReport reference;
+  reference.label = "A";
+  reference.exec_time = 100.0;
+  CaseReport slower;
+  slower.label = "D";
+  slower.exec_time = 117.0;
+  const std::string line = summary_line(slower, reference);
+  EXPECT_NE(line.find("17.00% loss vs A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smtbal::trace

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "workloads/btmz.hpp"
+#include "workloads/cases.hpp"
+#include "workloads/fig1.hpp"
+#include "workloads/metbench.hpp"
+#include "workloads/siesta.hpp"
+
+namespace smtbal::workloads {
+namespace {
+
+// --- MetBench ---------------------------------------------------------------
+
+TEST(MetBench, DefaultConfigBuildsValidApp) {
+  const auto app = build_metbench(MetBenchConfig{});
+  EXPECT_EQ(app.size(), 4u);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(MetBench, PhaseStructurePerIteration) {
+  MetBenchConfig config;
+  config.iterations = 3;
+  const auto app = build_metbench(config);
+  for (const auto& rank : app.ranks) {
+    // compute + stat + barrier per iteration.
+    EXPECT_EQ(rank.phases.size(), 9u);
+  }
+}
+
+TEST(MetBench, HeavyWorkersGetFullLoad) {
+  MetBenchConfig config;
+  config.iterations = 1;
+  config.heavy_instructions = 1000.0;
+  config.light_fraction = 0.25;
+  const auto app = build_metbench(config);
+  const auto work_of = [&](std::size_t r) {
+    return std::get<mpisim::ComputePhase>(app.ranks[r].phases[0]).instructions;
+  };
+  EXPECT_DOUBLE_EQ(work_of(0), 250.0);
+  EXPECT_DOUBLE_EQ(work_of(1), 1000.0);
+  EXPECT_DOUBLE_EQ(work_of(2), 250.0);
+  EXPECT_DOUBLE_EQ(work_of(3), 1000.0);
+}
+
+TEST(MetBench, CustomHeavyVector) {
+  MetBenchConfig config;
+  config.iterations = 1;
+  config.heavy = {true, false, false, false};
+  const auto app = build_metbench(config);
+  const auto work_of = [&](std::size_t r) {
+    return std::get<mpisim::ComputePhase>(app.ranks[r].phases[0]).instructions;
+  };
+  EXPECT_GT(work_of(0), work_of(1));
+}
+
+TEST(MetBench, RejectsBadConfig) {
+  MetBenchConfig config;
+  config.light_fraction = 0.0;
+  EXPECT_THROW(build_metbench(config), InvalidArgument);
+  config = MetBenchConfig{};
+  config.heavy = {true};
+  EXPECT_THROW(build_metbench(config), InvalidArgument);
+  config = MetBenchConfig{};
+  config.iterations = 0;
+  EXPECT_THROW(build_metbench(config), InvalidArgument);
+}
+
+// --- BT-MZ -------------------------------------------------------------------
+
+TEST(Btmz, ZoneSizesNormalisedAndGrowing) {
+  const auto sizes = btmz_zone_sizes(BtmzConfig{});
+  EXPECT_EQ(sizes.size(), 16u);
+  EXPECT_NEAR(std::accumulate(sizes.begin(), sizes.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t z = 1; z < sizes.size(); ++z) {
+    EXPECT_GT(sizes[z], sizes[z - 1]);
+  }
+}
+
+TEST(Btmz, RankSharesMatchPaperShape) {
+  // Paper case A: compute shares roughly {0.18, 0.29, 0.67, 1.0}-shaped:
+  // strictly increasing with the last rank the bottleneck.
+  const auto share = btmz_rank_share(BtmzConfig{});
+  ASSERT_EQ(share.size(), 4u);
+  EXPECT_DOUBLE_EQ(share[3], 1.0);
+  EXPECT_LT(share[0], 0.2);
+  EXPECT_GT(share[2], 0.35);
+  for (std::size_t r = 1; r < share.size(); ++r) {
+    EXPECT_GT(share[r], share[r - 1]);
+  }
+}
+
+TEST(Btmz, BottleneckFractionGrowsWithFewerRanks) {
+  BtmzConfig four;
+  BtmzConfig two = four;
+  two.num_ranks = 2;
+  EXPECT_GT(btmz_bottleneck_fraction(two), btmz_bottleneck_fraction(four));
+  EXPECT_LE(btmz_bottleneck_fraction(two), 1.0);
+}
+
+TEST(Btmz, AppValidatesAndHasRingTraffic) {
+  BtmzConfig config;
+  config.iterations = 2;
+  const auto app = build_btmz(config);
+  EXPECT_NO_THROW(app.validate());
+  EXPECT_EQ(app.size(), 4u);
+}
+
+TEST(Btmz, IterationCountShapesPhases) {
+  BtmzConfig config;
+  config.iterations = 5;
+  const auto app = build_btmz(config);
+  // init compute + barrier + 5 * (compute, comm, 2 recv, 2 send, waitall).
+  EXPECT_EQ(app.ranks[0].phases.size(), 2u + 5u * 7u);
+}
+
+TEST(Btmz, RejectsBadConfig) {
+  BtmzConfig config;
+  config.num_zones = 2;
+  EXPECT_THROW(build_btmz(config), InvalidArgument);
+  config = BtmzConfig{};
+  config.zone_growth = 0.5;
+  EXPECT_THROW(build_btmz(config), InvalidArgument);
+}
+
+// --- SIESTA ------------------------------------------------------------------
+
+TEST(Siesta, LoadsAreDeterministic) {
+  const auto a = siesta_iteration_loads(SiestaConfig{});
+  const auto b = siesta_iteration_loads(SiestaConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t r = 0; r < a[i].size(); ++r) {
+      EXPECT_DOUBLE_EQ(a[i][r], b[i][r]);
+    }
+  }
+}
+
+TEST(Siesta, SeedChangesLoads) {
+  SiestaConfig other;
+  other.seed += 1;
+  const auto a = siesta_iteration_loads(SiestaConfig{});
+  const auto b = siesta_iteration_loads(other);
+  EXPECT_NE(a[0][0], b[0][0]);
+}
+
+TEST(Siesta, LoadsWithinVariabilityBounds) {
+  SiestaConfig config;
+  const auto loads = siesta_iteration_loads(config);
+  for (const auto& iteration : loads) {
+    for (std::size_t r = 0; r < iteration.size(); ++r) {
+      const double mean =
+          config.mean_iteration_instructions * config.rank_bias[r];
+      EXPECT_GE(iteration[r], mean * (1.0 - config.variability) - 1e-6);
+      EXPECT_LE(iteration[r], mean * (1.0 + config.variability) + 1e-6);
+    }
+  }
+}
+
+TEST(Siesta, BottleneckRotatesAcrossIterations) {
+  // The paper's key observation about SIESTA: the most loaded rank is not
+  // the same in every iteration.
+  const auto loads = siesta_iteration_loads(SiestaConfig{});
+  std::set<std::size_t> bottlenecks;
+  for (const auto& iteration : loads) {
+    bottlenecks.insert(static_cast<std::size_t>(
+        std::max_element(iteration.begin(), iteration.end()) -
+        iteration.begin()));
+  }
+  EXPECT_GT(bottlenecks.size(), 1u);
+}
+
+TEST(Siesta, AppStructure) {
+  SiestaConfig config;
+  config.iterations = 2;
+  const auto app = build_siesta(config);
+  EXPECT_NO_THROW(app.validate());
+  // init, barrier, 2*(compute,2recv,2send,waitall), barrier, final.
+  EXPECT_EQ(app.ranks[0].phases.size(), 2u + 2u * 6u + 2u);
+}
+
+TEST(Siesta, RejectsBadConfig) {
+  SiestaConfig config;
+  config.rank_bias = {1.0};
+  EXPECT_THROW(build_siesta(config), InvalidArgument);
+  config = SiestaConfig{};
+  config.variability = 1.0;
+  EXPECT_THROW(build_siesta(config), InvalidArgument);
+}
+
+// --- Figure 1 ----------------------------------------------------------------
+
+TEST(Fig1, OneSlowProcess) {
+  Fig1Config config;
+  config.iterations = 1;
+  config.base_instructions = 100.0;
+  config.slow_factor = 2.5;
+  const auto app = build_fig1(config);
+  ASSERT_EQ(app.size(), 4u);
+  EXPECT_NO_THROW(app.validate());
+  const auto work_of = [&](std::size_t r) {
+    return std::get<mpisim::ComputePhase>(app.ranks[r].phases[0]).instructions;
+  };
+  EXPECT_DOUBLE_EQ(work_of(0), 250.0);
+  EXPECT_DOUBLE_EQ(work_of(1), 100.0);
+  EXPECT_DOUBLE_EQ(work_of(3), 100.0);
+}
+
+TEST(Fig1, RejectsBadConfig) {
+  Fig1Config config;
+  config.slow_factor = 0.5;
+  EXPECT_THROW(build_fig1(config), InvalidArgument);
+}
+
+// --- Paper cases ---------------------------------------------------------------
+
+TEST(Cases, MetBenchTableFour) {
+  const auto cases = metbench_cases();
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_EQ(cases[0].label, "A");
+  EXPECT_EQ(cases[0].priorities, (std::vector<int>{4, 4, 4, 4}));
+  EXPECT_EQ(cases[2].priorities, (std::vector<int>{4, 6, 4, 6}));
+  EXPECT_EQ(cases[3].priorities, (std::vector<int>{3, 6, 3, 6}));
+  // A: P1,P2 on core 1; P3,P4 on core 2.
+  EXPECT_EQ(cases[0].cores(), (std::vector<int>{1, 1, 2, 2}));
+}
+
+TEST(Cases, BtmzTableFive) {
+  const auto cases = btmz_cases();
+  ASSERT_EQ(cases.size(), 4u);
+  // B-D pair P1 with P4 on core 1.
+  for (std::size_t c = 1; c < cases.size(); ++c) {
+    EXPECT_EQ(cases[c].cores(), (std::vector<int>{1, 2, 2, 1})) << cases[c].label;
+  }
+  EXPECT_EQ(cases[1].priorities, (std::vector<int>{3, 3, 6, 6}));
+  EXPECT_EQ(cases[2].priorities, (std::vector<int>{4, 4, 6, 6}));
+  EXPECT_EQ(cases[3].priorities, (std::vector<int>{4, 4, 5, 6}));
+}
+
+TEST(Cases, SiestaTableSix) {
+  const auto cases = siesta_cases();
+  ASSERT_EQ(cases.size(), 4u);
+  // B-D pair P2,P3 on core 1; P1,P4 on core 2.
+  for (std::size_t c = 1; c < cases.size(); ++c) {
+    EXPECT_EQ(cases[c].cores(), (std::vector<int>{2, 1, 1, 2})) << cases[c].label;
+  }
+  EXPECT_EQ(cases[1].priorities, (std::vector<int>{4, 4, 5, 5}));
+  EXPECT_EQ(cases[2].priorities, (std::vector<int>{4, 4, 4, 5}));
+  EXPECT_EQ(cases[3].priorities, (std::vector<int>{4, 4, 4, 6}));
+}
+
+TEST(Cases, AllPlacementsCoverFourDistinctCpus) {
+  for (const auto& cases : {metbench_cases(), btmz_cases(), siesta_cases(),
+                            fig1_cases()}) {
+    for (const PaperCase& c : cases) {
+      std::set<std::uint32_t> cpus;
+      for (const CpuId& cpu : c.placement.cpu_of_rank) {
+        cpus.insert(cpu.linear(2));
+      }
+      EXPECT_EQ(cpus.size(), c.placement.cpu_of_rank.size()) << c.label;
+    }
+  }
+}
+
+TEST(Cases, AllPrioritiesInOsSettableRange) {
+  for (const auto& cases : {metbench_cases(), btmz_cases(), siesta_cases(),
+                            fig1_cases()}) {
+    for (const PaperCase& c : cases) {
+      for (int p : c.priorities) {
+        EXPECT_GE(p, 1) << c.label;
+        EXPECT_LE(p, 6) << c.label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smtbal::workloads
