@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_priorities.dir/bench_table1_priorities.cpp.o"
+  "CMakeFiles/bench_table1_priorities.dir/bench_table1_priorities.cpp.o.d"
+  "bench_table1_priorities"
+  "bench_table1_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

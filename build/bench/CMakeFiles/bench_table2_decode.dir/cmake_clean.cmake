@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_decode.dir/bench_table2_decode.cpp.o"
+  "CMakeFiles/bench_table2_decode.dir/bench_table2_decode.cpp.o.d"
+  "bench_table2_decode"
+  "bench_table2_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_special.dir/bench_table3_special.cpp.o"
+  "CMakeFiles/bench_table3_special.dir/bench_table3_special.cpp.o.d"
+  "bench_table3_special"
+  "bench_table3_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

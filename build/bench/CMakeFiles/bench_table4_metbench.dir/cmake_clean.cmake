@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_metbench.dir/bench_table4_metbench.cpp.o"
+  "CMakeFiles/bench_table4_metbench.dir/bench_table4_metbench.cpp.o.d"
+  "bench_table4_metbench"
+  "bench_table4_metbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_metbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_btmz.dir/bench_table5_btmz.cpp.o"
+  "CMakeFiles/bench_table5_btmz.dir/bench_table5_btmz.cpp.o.d"
+  "bench_table5_btmz"
+  "bench_table5_btmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_btmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

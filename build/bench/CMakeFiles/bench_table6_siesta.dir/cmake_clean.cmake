@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_siesta.dir/bench_table6_siesta.cpp.o"
+  "CMakeFiles/bench_table6_siesta.dir/bench_table6_siesta.cpp.o.d"
+  "bench_table6_siesta"
+  "bench_table6_siesta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_siesta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

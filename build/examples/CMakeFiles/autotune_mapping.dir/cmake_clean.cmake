@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_mapping.dir/autotune_mapping.cpp.o"
+  "CMakeFiles/autotune_mapping.dir/autotune_mapping.cpp.o.d"
+  "autotune_mapping"
+  "autotune_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_balancing.dir/dynamic_balancing.cpp.o"
+  "CMakeFiles/dynamic_balancing.dir/dynamic_balancing.cpp.o.d"
+  "dynamic_balancing"
+  "dynamic_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

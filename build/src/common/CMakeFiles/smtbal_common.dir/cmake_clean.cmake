@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_common.dir/log.cpp.o"
+  "CMakeFiles/smtbal_common.dir/log.cpp.o.d"
+  "CMakeFiles/smtbal_common.dir/rng.cpp.o"
+  "CMakeFiles/smtbal_common.dir/rng.cpp.o.d"
+  "CMakeFiles/smtbal_common.dir/stats.cpp.o"
+  "CMakeFiles/smtbal_common.dir/stats.cpp.o.d"
+  "CMakeFiles/smtbal_common.dir/table.cpp.o"
+  "CMakeFiles/smtbal_common.dir/table.cpp.o.d"
+  "libsmtbal_common.a"
+  "libsmtbal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

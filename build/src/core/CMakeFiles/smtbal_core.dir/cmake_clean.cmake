@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_core.dir/advisor.cpp.o"
+  "CMakeFiles/smtbal_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/smtbal_core.dir/balancer.cpp.o"
+  "CMakeFiles/smtbal_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/smtbal_core.dir/dynamic_policy.cpp.o"
+  "CMakeFiles/smtbal_core.dir/dynamic_policy.cpp.o.d"
+  "CMakeFiles/smtbal_core.dir/static_policy.cpp.o"
+  "CMakeFiles/smtbal_core.dir/static_policy.cpp.o.d"
+  "libsmtbal_core.a"
+  "libsmtbal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_isa.dir/kernel.cpp.o"
+  "CMakeFiles/smtbal_isa.dir/kernel.cpp.o.d"
+  "CMakeFiles/smtbal_isa.dir/stream.cpp.o"
+  "CMakeFiles/smtbal_isa.dir/stream.cpp.o.d"
+  "libsmtbal_isa.a"
+  "libsmtbal_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

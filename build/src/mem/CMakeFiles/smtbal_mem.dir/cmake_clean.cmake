@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_mem.dir/cache.cpp.o"
+  "CMakeFiles/smtbal_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/smtbal_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/smtbal_mem.dir/hierarchy.cpp.o.d"
+  "libsmtbal_mem.a"
+  "libsmtbal_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

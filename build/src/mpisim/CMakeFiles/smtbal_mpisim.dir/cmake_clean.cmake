@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_mpisim.dir/engine.cpp.o"
+  "CMakeFiles/smtbal_mpisim.dir/engine.cpp.o.d"
+  "CMakeFiles/smtbal_mpisim.dir/network.cpp.o"
+  "CMakeFiles/smtbal_mpisim.dir/network.cpp.o.d"
+  "CMakeFiles/smtbal_mpisim.dir/phase.cpp.o"
+  "CMakeFiles/smtbal_mpisim.dir/phase.cpp.o.d"
+  "libsmtbal_mpisim.a"
+  "libsmtbal_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

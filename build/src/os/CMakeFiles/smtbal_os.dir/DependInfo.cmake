@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/smtbal_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/smtbal_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/noise.cpp" "src/os/CMakeFiles/smtbal_os.dir/noise.cpp.o" "gcc" "src/os/CMakeFiles/smtbal_os.dir/noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtbal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/smtbal_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtbal_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtbal_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

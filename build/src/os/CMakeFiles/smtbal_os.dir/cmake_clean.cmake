@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_os.dir/kernel.cpp.o"
+  "CMakeFiles/smtbal_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/smtbal_os.dir/noise.cpp.o"
+  "CMakeFiles/smtbal_os.dir/noise.cpp.o.d"
+  "libsmtbal_os.a"
+  "libsmtbal_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/chip.cpp" "src/smt/CMakeFiles/smtbal_smt.dir/chip.cpp.o" "gcc" "src/smt/CMakeFiles/smtbal_smt.dir/chip.cpp.o.d"
+  "/root/repo/src/smt/core.cpp" "src/smt/CMakeFiles/smtbal_smt.dir/core.cpp.o" "gcc" "src/smt/CMakeFiles/smtbal_smt.dir/core.cpp.o.d"
+  "/root/repo/src/smt/priority.cpp" "src/smt/CMakeFiles/smtbal_smt.dir/priority.cpp.o" "gcc" "src/smt/CMakeFiles/smtbal_smt.dir/priority.cpp.o.d"
+  "/root/repo/src/smt/sampler.cpp" "src/smt/CMakeFiles/smtbal_smt.dir/sampler.cpp.o" "gcc" "src/smt/CMakeFiles/smtbal_smt.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtbal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtbal_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtbal_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

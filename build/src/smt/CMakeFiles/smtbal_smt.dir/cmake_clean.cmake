@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_smt.dir/chip.cpp.o"
+  "CMakeFiles/smtbal_smt.dir/chip.cpp.o.d"
+  "CMakeFiles/smtbal_smt.dir/core.cpp.o"
+  "CMakeFiles/smtbal_smt.dir/core.cpp.o.d"
+  "CMakeFiles/smtbal_smt.dir/priority.cpp.o"
+  "CMakeFiles/smtbal_smt.dir/priority.cpp.o.d"
+  "CMakeFiles/smtbal_smt.dir/sampler.cpp.o"
+  "CMakeFiles/smtbal_smt.dir/sampler.cpp.o.d"
+  "libsmtbal_smt.a"
+  "libsmtbal_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/smtbal_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/smtbal_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/gantt.cpp" "src/trace/CMakeFiles/smtbal_trace.dir/gantt.cpp.o" "gcc" "src/trace/CMakeFiles/smtbal_trace.dir/gantt.cpp.o.d"
+  "/root/repo/src/trace/paraver.cpp" "src/trace/CMakeFiles/smtbal_trace.dir/paraver.cpp.o" "gcc" "src/trace/CMakeFiles/smtbal_trace.dir/paraver.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/smtbal_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/smtbal_trace.dir/report.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/smtbal_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/smtbal_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtbal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_trace.dir/analysis.cpp.o"
+  "CMakeFiles/smtbal_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/smtbal_trace.dir/gantt.cpp.o"
+  "CMakeFiles/smtbal_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/smtbal_trace.dir/paraver.cpp.o"
+  "CMakeFiles/smtbal_trace.dir/paraver.cpp.o.d"
+  "CMakeFiles/smtbal_trace.dir/report.cpp.o"
+  "CMakeFiles/smtbal_trace.dir/report.cpp.o.d"
+  "CMakeFiles/smtbal_trace.dir/tracer.cpp.o"
+  "CMakeFiles/smtbal_trace.dir/tracer.cpp.o.d"
+  "libsmtbal_trace.a"
+  "libsmtbal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtbal_trace.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtbal_workloads.dir/btmz.cpp.o"
+  "CMakeFiles/smtbal_workloads.dir/btmz.cpp.o.d"
+  "CMakeFiles/smtbal_workloads.dir/cases.cpp.o"
+  "CMakeFiles/smtbal_workloads.dir/cases.cpp.o.d"
+  "CMakeFiles/smtbal_workloads.dir/fig1.cpp.o"
+  "CMakeFiles/smtbal_workloads.dir/fig1.cpp.o.d"
+  "CMakeFiles/smtbal_workloads.dir/metbench.cpp.o"
+  "CMakeFiles/smtbal_workloads.dir/metbench.cpp.o.d"
+  "CMakeFiles/smtbal_workloads.dir/siesta.cpp.o"
+  "CMakeFiles/smtbal_workloads.dir/siesta.cpp.o.d"
+  "libsmtbal_workloads.a"
+  "libsmtbal_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtbal_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_isa_mem.dir/isa_kernel_test.cpp.o"
+  "CMakeFiles/tests_isa_mem.dir/isa_kernel_test.cpp.o.d"
+  "CMakeFiles/tests_isa_mem.dir/isa_stream_test.cpp.o"
+  "CMakeFiles/tests_isa_mem.dir/isa_stream_test.cpp.o.d"
+  "CMakeFiles/tests_isa_mem.dir/mem_cache_test.cpp.o"
+  "CMakeFiles/tests_isa_mem.dir/mem_cache_test.cpp.o.d"
+  "CMakeFiles/tests_isa_mem.dir/mem_hierarchy_test.cpp.o"
+  "CMakeFiles/tests_isa_mem.dir/mem_hierarchy_test.cpp.o.d"
+  "tests_isa_mem"
+  "tests_isa_mem.pdb"
+  "tests_isa_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_isa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

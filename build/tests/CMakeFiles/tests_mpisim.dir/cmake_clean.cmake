@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_mpisim.dir/mpisim_engine_test.cpp.o"
+  "CMakeFiles/tests_mpisim.dir/mpisim_engine_test.cpp.o.d"
+  "CMakeFiles/tests_mpisim.dir/mpisim_fuzz_test.cpp.o"
+  "CMakeFiles/tests_mpisim.dir/mpisim_fuzz_test.cpp.o.d"
+  "CMakeFiles/tests_mpisim.dir/mpisim_network_test.cpp.o"
+  "CMakeFiles/tests_mpisim.dir/mpisim_network_test.cpp.o.d"
+  "CMakeFiles/tests_mpisim.dir/mpisim_phase_test.cpp.o"
+  "CMakeFiles/tests_mpisim.dir/mpisim_phase_test.cpp.o.d"
+  "tests_mpisim"
+  "tests_mpisim.pdb"
+  "tests_mpisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_os_trace.dir/os_kernel_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/os_kernel_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/os_noise_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/os_noise_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/trace_analysis_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/trace_analysis_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/trace_gantt_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/trace_gantt_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/trace_paraver_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/trace_paraver_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/trace_report_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/trace_report_test.cpp.o.d"
+  "CMakeFiles/tests_os_trace.dir/trace_tracer_test.cpp.o"
+  "CMakeFiles/tests_os_trace.dir/trace_tracer_test.cpp.o.d"
+  "tests_os_trace"
+  "tests_os_trace.pdb"
+  "tests_os_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_os_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_smt.dir/smt_core_test.cpp.o"
+  "CMakeFiles/tests_smt.dir/smt_core_test.cpp.o.d"
+  "CMakeFiles/tests_smt.dir/smt_priority_test.cpp.o"
+  "CMakeFiles/tests_smt.dir/smt_priority_test.cpp.o.d"
+  "CMakeFiles/tests_smt.dir/smt_sampler_test.cpp.o"
+  "CMakeFiles/tests_smt.dir/smt_sampler_test.cpp.o.d"
+  "tests_smt"
+  "tests_smt.pdb"
+  "tests_smt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

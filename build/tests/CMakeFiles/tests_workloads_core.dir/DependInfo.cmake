@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_policy_test.cpp" "tests/CMakeFiles/tests_workloads_core.dir/core_policy_test.cpp.o" "gcc" "tests/CMakeFiles/tests_workloads_core.dir/core_policy_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/tests_workloads_core.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/tests_workloads_core.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smtbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smtbal_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/smtbal_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtbal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/smtbal_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/smtbal_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtbal_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtbal_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtbal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

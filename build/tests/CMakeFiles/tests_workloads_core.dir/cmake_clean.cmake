@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workloads_core.dir/core_policy_test.cpp.o"
+  "CMakeFiles/tests_workloads_core.dir/core_policy_test.cpp.o.d"
+  "CMakeFiles/tests_workloads_core.dir/workloads_test.cpp.o"
+  "CMakeFiles/tests_workloads_core.dir/workloads_test.cpp.o.d"
+  "tests_workloads_core"
+  "tests_workloads_core.pdb"
+  "tests_workloads_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workloads_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_isa_mem[1]_include.cmake")
+include("/root/repo/build/tests/tests_smt[1]_include.cmake")
+include("/root/repo/build/tests/tests_os_trace[1]_include.cmake")
+include("/root/repo/build/tests/tests_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/tests_workloads_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
