@@ -2,6 +2,8 @@
 // priority cases. P2/P4 are the heavy workers; A is the imbalanced
 // reference, B a partial fix (gap 1), C the balanced optimum (gap 2) and
 // D the over-prioritised reversal (gap 3).
+//
+//   $ ./bench_table4_metbench [--jobs N] [--json FILE]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -9,13 +11,14 @@
 
 using namespace smtbal;
 
-int main() {
+int main(int argc, char** argv) try {
+  const auto cli = runner::parse_cli(argc, argv);
   bench::print_header(
       "Table IV / Figure 2 — MetBench balanced and imbalanced characterization");
 
   const auto app = workloads::build_metbench(workloads::MetBenchConfig{});
   const auto outcomes =
-      bench::run_paper_cases(app, workloads::metbench_cases());
+      bench::run_paper_cases_batch(app, workloads::metbench_cases(), cli);
 
   bench::print_characterization(outcomes);
   bench::print_gantts(outcomes);
@@ -37,4 +40,7 @@ int main() {
                "imbalance and is slower than doing nothing (the exponential\n"
                "penalty of the hardware prioritization, paper SVII-A).\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

@@ -1,6 +1,8 @@
 // Table V + Figure 3 reproduction: NAS BT-MZ class A with 4 ranks (plus
 // the 2-rank ST-mode row). Case A keeps the default mapping; B-D pair the
 // lightest rank P1 with the bottleneck P4 on core 1 and sweep priorities.
+//
+//   $ ./bench_table5_btmz [--jobs N] [--json FILE]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -8,7 +10,8 @@
 
 using namespace smtbal;
 
-int main() {
+int main(int argc, char** argv) try {
+  const auto cli = runner::parse_cli(argc, argv);
   bench::print_header(
       "Table V / Figure 3 — BT-MZ balanced and imbalanced characterization");
 
@@ -22,22 +25,28 @@ int main() {
   std::cout << "\n\n";
 
   const auto app = workloads::build_btmz(config);
-  auto outcomes = bench::run_paper_cases(app, workloads::btmz_cases());
 
-  // ST-mode row: 2 ranks, one per core, same total mesh.
+  // One batch: the ST-mode row (2 ranks, one per core, same total mesh)
+  // followed by the paper's four SMT cases.
+  std::vector<runner::RunSpec> specs;
+  std::vector<bench::SpecMeta> meta;
   {
     workloads::BtmzConfig st = config;
     st.num_ranks = 2;
     st.bottleneck_instructions *= workloads::btmz_bottleneck_fraction(st) /
                                   workloads::btmz_bottleneck_fraction(config);
-    core::Balancer& balancer = bench::default_balancer();
-    mpisim::RunResult result = balancer.run(
-        workloads::build_btmz(st), mpisim::Placement::from_linear({0, 2}));
-    trace::CaseReport report = trace::CaseReport::from_trace(
-        "ST", result.trace, {1, 2}, {7, 7});
-    outcomes.insert(outcomes.begin(),
-                    bench::CaseOutcome{std::move(report), std::move(result)});
+    runner::RunSpec spec;
+    spec.label = "ST";
+    spec.app = workloads::build_btmz(st);
+    spec.placement = mpisim::Placement::from_linear({0, 2});
+    specs.push_back(std::move(spec));
+    meta.push_back(bench::SpecMeta{{1, 2}, {7, 7}});
   }
+  for (const workloads::PaperCase& c : workloads::btmz_cases()) {
+    specs.push_back(bench::paper_case_spec(app, c));
+    meta.push_back(bench::SpecMeta{c.cores(), c.priorities});
+  }
+  const auto outcomes = bench::run_case_specs(std::move(specs), meta, cli);
 
   bench::print_characterization(outcomes);
   bench::print_gantts(outcomes);
@@ -64,4 +73,7 @@ int main() {
                "and is by far the slowest; D is the best case (paper: 18%\n"
                "improvement); four SMT contexts beat two ST cores.\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

@@ -1,6 +1,8 @@
 // Table VI + Figure 4 reproduction: SIESTA, the paper's real application.
 // Its per-iteration bottleneck varies, so the best static assignment only
 // buys ~8% (case C); over-prioritising loses (case D).
+//
+//   $ ./bench_table6_siesta [--jobs N] [--json FILE]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -8,13 +10,14 @@
 
 using namespace smtbal;
 
-int main() {
+int main(int argc, char** argv) try {
+  const auto cli = runner::parse_cli(argc, argv);
   bench::print_header(
       "Table VI / Figure 4 — SIESTA balanced and imbalanced characterization");
 
   const auto app = workloads::build_siesta(workloads::SiestaConfig{});
   const auto outcomes =
-      bench::run_paper_cases(app, workloads::siesta_cases());
+      bench::run_paper_cases_batch(app, workloads::siesta_cases(), cli);
 
   bench::print_characterization(outcomes);
   bench::print_gantts(outcomes);
@@ -39,4 +42,7 @@ int main() {
          "is much smaller than BT-MZ's — the paper's motivation for a dynamic\n"
          "balancer (see bench_ablation_dynamic).\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

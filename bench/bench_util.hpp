@@ -10,12 +10,16 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/balancer.hpp"
 #include "core/static_policy.hpp"
+#include "runner/batch.hpp"
+#include "runner/report.hpp"
 #include "trace/gantt.hpp"
 #include "trace/report.hpp"
 #include "workloads/cases.hpp"
@@ -53,6 +57,72 @@ inline std::vector<CaseOutcome> run_paper_cases(
     outcomes.push_back(CaseOutcome{std::move(report), std::move(result)});
   }
   return outcomes;
+}
+
+/// Builds the RunSpec for one paper case (static priorities).
+inline runner::RunSpec paper_case_spec(const mpisim::Application& app,
+                                       const workloads::PaperCase& c,
+                                       mpisim::EngineConfig config = {}) {
+  runner::RunSpec spec;
+  spec.label = c.label;
+  spec.app = app;
+  spec.placement = c.placement;
+  spec.config = std::move(config);
+  spec.make_policy = [priorities = c.priorities] {
+    return std::unique_ptr<mpisim::BalancePolicy>(
+        new core::StaticPriorityPolicy(priorities));
+  };
+  return spec;
+}
+
+/// Report metadata for one spec (the columns CaseReport needs beyond the
+/// trace itself).
+struct SpecMeta {
+  std::vector<int> cores;       ///< 1-based core number per rank
+  std::vector<int> priorities;  ///< hardware priority per rank
+};
+
+/// Runs `specs` through a BatchRunner (`--jobs` workers), writes the JSONL
+/// records if `--json` was given, and converts the outcomes into case
+/// reports. The batch summary goes to stderr so stdout stays byte-identical
+/// for any worker count. Throws if any run failed.
+inline std::vector<CaseOutcome> run_case_specs(std::vector<runner::RunSpec> specs,
+                                               const std::vector<SpecMeta>& meta,
+                                               const runner::CliOptions& cli) {
+  runner::BatchRunner batch_runner(runner::BatchOptions{.jobs = cli.jobs});
+  runner::BatchResult batch = batch_runner.run(specs);
+  if (!cli.json_path.empty()) runner::write_jsonl_file(batch, cli.json_path);
+  std::cerr << "[batch] " << runner::describe(batch) << '\n';
+
+  std::vector<CaseOutcome> outcomes;
+  outcomes.reserve(batch.runs.size());
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    runner::RunOutcome& out = batch.runs[i];
+    if (!out.ok) {
+      throw SimulationError("case " + out.label + " failed: " + out.error);
+    }
+    trace::CaseReport report = trace::CaseReport::from_trace(
+        out.label, out.result->trace, meta[i].cores, meta[i].priorities);
+    outcomes.push_back(CaseOutcome{std::move(report), std::move(*out.result)});
+  }
+  return outcomes;
+}
+
+/// Parallel drop-in for run_paper_cases: same outcomes, every case runs on
+/// its own worker.
+inline std::vector<CaseOutcome> run_paper_cases_batch(
+    const mpisim::Application& app,
+    const std::vector<workloads::PaperCase>& cases,
+    const runner::CliOptions& cli) {
+  std::vector<runner::RunSpec> specs;
+  std::vector<SpecMeta> meta;
+  specs.reserve(cases.size());
+  meta.reserve(cases.size());
+  for (const workloads::PaperCase& c : cases) {
+    specs.push_back(paper_case_spec(app, c));
+    meta.push_back(SpecMeta{c.cores(), c.priorities});
+  }
+  return run_case_specs(std::move(specs), meta, cli);
 }
 
 /// Prints the measured characterisation table (paper layout).

@@ -3,21 +3,37 @@
 // builtin kernel — the tool you would use to calibrate a balancing
 // policy for a new workload (and the data behind paper Table II).
 //
-//   $ ./priority_sweep            # uses hpc_mixed
-//   $ ./priority_sweep dft_scf    # any builtin kernel name
+// The ten chip configurations are independent cycle-level measurements,
+// so they run in parallel through BatchRunner::sample(); the printed
+// table is identical for any worker count.
+//
+//   $ ./priority_sweep                    # uses hpc_mixed
+//   $ ./priority_sweep dft_scf            # any builtin kernel name
+//   $ ./priority_sweep --jobs 4 dft_scf   # measure on 4 workers
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "isa/kernel.hpp"
+#include "runner/batch.hpp"
 #include "smt/sampler.hpp"
 
 using namespace smtbal;
 using namespace smtbal::smt;
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : std::string(isa::kKernelHpcMixed);
+  runner::CliOptions cli;
+  try {
+    cli = runner::parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  const std::string name =
+      cli.positional.empty() ? std::string(isa::kKernelHpcMixed)
+                             : cli.positional.front();
   const auto& registry = isa::KernelRegistry::instance();
   if (!registry.contains(name)) {
     std::cerr << "unknown kernel '" << name << "'; available:\n";
@@ -28,25 +44,37 @@ int main(int argc, char** argv) {
   }
   const isa::KernelId kernel = registry.by_name(name).id;
 
-  ThroughputSampler sampler{ChipConfig{}};
-
-  ChipLoad solo;
-  solo.contexts[0] = ContextLoad{kernel, HwPriority::kVeryHigh};
-  const double solo_ipc = sampler.sample(solo).ipc[0];
-
-  std::cout << "kernel: " << name << "\nsingle-thread (ST mode) IPC: "
-            << TextTable::num(solo_ipc, 3) << "\n\n";
-
-  TextTable table({"prio A", "prio B", "IPC A", "IPC B", "A (x solo)",
-                   "B (x solo)", "total (x solo)"});
+  // loads[0] is the single-thread reference; loads[1..9] the priority pairs.
+  std::vector<ChipLoad> loads;
+  {
+    ChipLoad solo;
+    solo.contexts[0] = ContextLoad{kernel, HwPriority::kVeryHigh};
+    loads.push_back(solo);
+  }
+  std::vector<std::pair<int, int>> pairs;
   for (int diff = -4; diff <= 4; ++diff) {
     const int pa = diff <= 0 ? 6 + diff : 6;
     const int pb = diff <= 0 ? 6 : 6 - diff;
     ChipLoad load;
     load.contexts[0] = ContextLoad{kernel, priority_from_int(pa)};
     load.contexts[1] = ContextLoad{kernel, priority_from_int(pb)};
-    const auto& rates = sampler.sample(load);
-    table.add_row({std::to_string(pa), std::to_string(pb),
+    loads.push_back(load);
+    pairs.emplace_back(pa, pb);
+  }
+
+  const runner::BatchRunner batch(runner::BatchOptions{.jobs = cli.jobs});
+  const std::vector<SampleResult> results =
+      batch.sample(ChipConfig{}, ThroughputSampler::Options{}, loads);
+
+  const double solo_ipc = results[0].ipc[0];
+  std::cout << "kernel: " << name << "\nsingle-thread (ST mode) IPC: "
+            << TextTable::num(solo_ipc, 3) << "\n\n";
+
+  TextTable table({"prio A", "prio B", "IPC A", "IPC B", "A (x solo)",
+                   "B (x solo)", "total (x solo)"});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& rates = results[i + 1];
+    table.add_row({std::to_string(pairs[i].first), std::to_string(pairs[i].second),
                    TextTable::num(rates.ipc[0], 3),
                    TextTable::num(rates.ipc[1], 3),
                    TextTable::num(rates.ipc[0] / solo_ipc, 2),

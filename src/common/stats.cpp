@@ -42,6 +42,13 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+std::string RunningStats::describe() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " stddev=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   SMTBAL_REQUIRE(hi > lo, "Histogram requires hi > lo");

@@ -29,6 +29,9 @@ class RunningStats {
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }
 
+  /// One-line summary: "n=12 mean=1.5 stddev=0.2 min=1.1 max=2".
+  [[nodiscard]] std::string describe() const;
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

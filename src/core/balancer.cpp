@@ -2,21 +2,6 @@
 
 namespace smtbal::core {
 
-namespace {
-
-bool same_chip(const smt::ChipConfig& a, const smt::ChipConfig& b) {
-  return a.num_cores == b.num_cores && a.frequency_ghz == b.frequency_ghz &&
-         a.core.decode_width == b.core.decode_width &&
-         a.core.issue_width == b.core.issue_width &&
-         a.core.gct_entries == b.core.gct_entries &&
-         a.core.per_thread_inflight == b.core.per_thread_inflight &&
-         a.core.group_break_prob == b.core.group_break_prob &&
-         a.core.work_conserving_decode == b.core.work_conserving_decode &&
-         a.core.mispredict_penalty == b.core.mispredict_penalty;
-}
-
-}  // namespace
-
 Balancer::Balancer(mpisim::EngineConfig config)
     : config_(std::move(config)),
       sampler_(std::make_shared<smt::ThroughputSampler>(config_.chip,
@@ -31,7 +16,11 @@ mpisim::RunResult Balancer::run(const mpisim::Application& app,
 }
 
 void Balancer::set_config(mpisim::EngineConfig config) {
-  const bool keep_sampler = same_chip(config.chip, config_.chip);
+  // The memoised rates are a function of (chip config, sampler options):
+  // the previous hand-written comparison ignored the memory hierarchy and
+  // execution-unit counts, silently reusing stale rates across those edits.
+  const bool keep_sampler =
+      config.chip == config_.chip && config.sampler == config_.sampler;
   config_ = std::move(config);
   if (!keep_sampler) {
     sampler_ = std::make_shared<smt::ThroughputSampler>(config_.chip,

@@ -20,6 +20,7 @@ struct CacheConfig {
   std::uint32_t hit_latency = 2;    // cycles
 
   void validate() const;
+  [[nodiscard]] bool operator==(const CacheConfig&) const = default;
   [[nodiscard]] std::uint64_t num_sets() const {
     return size_bytes / (static_cast<std::uint64_t>(line_bytes) * associativity);
   }

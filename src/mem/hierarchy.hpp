@@ -37,6 +37,7 @@ struct HierarchyConfig {
   std::uint32_t memory_latency = 230;
 
   void validate() const;
+  [[nodiscard]] bool operator==(const HierarchyConfig&) const = default;
 };
 
 /// Result of a memory access: total load-to-use latency plus the level

@@ -204,6 +204,15 @@ class Sim {
   /// arrives, everyone is released after `release_cost` (the collective
   /// sequences are identical across ranks — validated — so every arriver
   /// passes the same cost).
+  ///
+  /// Zero-cost releases are drained iteratively: completing a rank can
+  /// bring it straight to the *next* barrier (back-to-back collectives),
+  /// which re-enters this function and mutates barrier_arrived_. Naively
+  /// completing ranks inside the loop over ranks_ therefore recursed once
+  /// per consecutive zero-cost collective (unbounded stack depth) while
+  /// iterating state it was mutating. Instead, releasable ranks are
+  /// collected into release_queue_ and drained only by the outermost call;
+  /// re-entrant arrivals just append to the queue.
   void arrive_collective(std::size_t rank, SimTime release_cost) {
     RankRt& rt = ranks_[rank];
     rt.state = RunState::kAtBarrier;
@@ -217,15 +226,27 @@ class Sim {
         ranks_[r].ready_at = release;
       }
     }
-    if (release <= now_ + kTimeEps) {
-      // Zero-cost collectives release instantly.
-      for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        if (ranks_[r].state == RunState::kAtBarrier &&
-            ranks_[r].ready_at <= now_ + kTimeEps) {
-          complete_block(r);
-        }
+    if (release > now_ + kTimeEps) return;  // the event loop releases later
+    // Zero-cost collective: snapshot the releasable ranks first, then
+    // complete them (a completion may invalidate a queued entry — e.g.
+    // advance the rank to the next barrier — so re-check at pop time).
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      if (ranks_[r].state == RunState::kAtBarrier &&
+          ranks_[r].ready_at <= now_ + kTimeEps) {
+        release_queue_.push_back(r);
       }
     }
+    if (releasing_) return;  // the outermost arrive_collective drains
+    releasing_ = true;
+    for (std::size_t i = 0; i < release_queue_.size(); ++i) {
+      const std::size_t r = release_queue_[i];
+      if (ranks_[r].state == RunState::kAtBarrier &&
+          ranks_[r].ready_at <= now_ + kTimeEps) {
+        complete_block(r);
+      }
+    }
+    release_queue_.clear();
+    releasing_ = false;
   }
 
   /// Executes phases from the rank's cursor until it blocks or finishes.
@@ -437,6 +458,10 @@ class Sim {
   std::map<std::tuple<std::uint32_t, std::uint32_t, int>, std::deque<SimTime>>
       messages_;
   std::size_t barrier_arrived_ = 0;
+  /// Ranks releasable from a zero-cost collective; drained iteratively by
+  /// the outermost arrive_collective (see its comment).
+  std::vector<std::size_t> release_queue_;
+  bool releasing_ = false;
   std::size_t done_count_ = 0;
   int reported_epochs_ = 0;
   SimTime now_ = 0.0;
@@ -552,9 +577,10 @@ Engine::Engine(Application app, Placement placement, EngineConfig config,
 }
 
 void Engine::set_rank_priority(RankId rank, int priority) {
-  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(),
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
                  "set_rank_priority is only valid from policy hooks "
                  "(processes not spawned yet)");
+  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(), "rank out of range");
   const Pid pid = pid_of_rank_[rank.value()];
   // A rank that already exited has no process to re-prioritise (its
   // /proc/<pid>/hmt_priority file is gone); ignore, as a userspace

@@ -1,0 +1,118 @@
+// Multithreaded batch-run harness.
+//
+// The paper's tables are built from many independent (workload, placement,
+// priority) simulations; BatchRunner executes such a batch on a pool of
+// worker threads with work stealing, so reproducing Tables IV-VI uses every
+// host core instead of one.
+//
+// Determinism guarantee: the per-run results are identical for ANY worker
+// count, including 1. Three properties make this hold:
+//   * run ordering is stable — outcomes[i] always corresponds to specs[i],
+//     whatever order the workers picked runs up in;
+//   * every run is self-contained — the engine, policy and RNG state are
+//     constructed per run from the spec, never shared between runs;
+//   * samplers are never shared mutably across threads — each worker owns a
+//     private ThroughputSampler per "sampler domain" (identical chip config
+//     and sampler options). Workers in one domain share measured results
+//     through a mutex-guarded SampleCache, which is safe because
+//     ThroughputSampler::measure() is a pure function of (chip config,
+//     options, load): whichever worker computes a key first publishes the
+//     exact value every other worker would have computed.
+// Only the *counters* (local/shared hit splits, the cache hit rate) depend
+// on scheduling; consumers that require byte-identical output must report
+// results, not counters — see runner/report.hpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "mpisim/engine.hpp"
+#include "mpisim/hooks.hpp"
+#include "mpisim/phase.hpp"
+#include "smt/sampler.hpp"
+
+namespace smtbal::runner {
+
+/// One simulation in a batch.
+struct RunSpec {
+  std::string label;              ///< carried into the outcome and reports
+  mpisim::Application app;
+  mpisim::Placement placement;
+  mpisim::EngineConfig config{};
+  /// Optional policy factory, invoked once per run on the executing worker
+  /// (policies are stateful, so they cannot be shared between runs).
+  std::function<std::unique_ptr<mpisim::BalancePolicy>()> make_policy;
+};
+
+/// Result of one run. Outcomes are returned in spec order.
+struct RunOutcome {
+  std::string label;
+  std::size_t index = 0;          ///< position in the spec vector
+  bool ok = false;
+  std::string error;              ///< exception message when !ok
+  std::optional<mpisim::RunResult> result;  ///< engaged only when ok
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Always
+  /// clamped to the number of runs.
+  unsigned jobs = 0;
+  /// Share measured sampler results between workers of the same sampler
+  /// domain through a mutex-guarded SampleCache. Purely a speed/memory
+  /// optimisation — results are identical either way.
+  bool share_sample_cache = true;
+};
+
+struct BatchResult {
+  std::vector<RunOutcome> runs;   ///< one per spec, spec order
+  RunningStats exec_time;         ///< over successful runs, spec order
+  RunningStats imbalance;         ///< over successful runs, spec order
+  std::size_t failures = 0;
+  unsigned jobs = 0;              ///< workers actually used
+  /// Aggregate shared-cache counters summed over all sampler domains.
+  /// Scheduling-dependent (see the determinism note above): report these,
+  /// never compare them across runs.
+  smt::SampleCacheStats cache_stats;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {}) : options_(options) {}
+
+  /// Executes every spec and returns per-run outcomes (spec order) plus
+  /// aggregate statistics. A run that throws is captured as a failed
+  /// outcome; the rest of the batch still executes.
+  [[nodiscard]] BatchResult run(const std::vector<RunSpec>& specs) const;
+
+  /// Parallel raw-sampler queries: measures every load on `chip` and
+  /// returns the results in load order. Workers share one SampleCache, so
+  /// duplicate loads are measured once. Same determinism guarantee as
+  /// run().
+  [[nodiscard]] std::vector<smt::SampleResult> sample(
+      const smt::ChipConfig& chip, const smt::ThroughputSampler::Options& options,
+      const std::vector<smt::ChipLoad>& loads) const;
+
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+/// Command-line options shared by the ported bench/example binaries.
+struct CliOptions {
+  unsigned jobs = 0;        ///< --jobs N (0 = all host cores)
+  std::string json_path;    ///< --json FILE (empty = no JSON output)
+  /// Positional arguments left after the flags, in order.
+  std::vector<std::string> positional;
+};
+
+/// Parses `--jobs N` / `--jobs=N` and `--json FILE` / `--json=FILE`.
+/// Throws InvalidArgument on a malformed flag.
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv);
+
+}  // namespace smtbal::runner

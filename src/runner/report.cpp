@@ -1,0 +1,104 @@
+#include "runner/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::runner {
+
+namespace {
+
+/// Round-trip double formatting: %.17g prints the shortest digit string
+/// that recovers the exact bits, so equal doubles always print equally.
+std::string json_num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json_record(const RunOutcome& outcome) {
+  std::ostringstream os;
+  os << "{\"schema\":\"smtbal.bench.run/1\",\"label\":\""
+     << json_escape(outcome.label) << "\",\"index\":" << outcome.index
+     << ",\"ok\":" << (outcome.ok ? "true" : "false");
+  if (!outcome.ok) {
+    os << ",\"error\":\"" << json_escape(outcome.error) << "\"}";
+    return os.str();
+  }
+  const mpisim::RunResult& r = *outcome.result;
+  os << ",\"exec_time\":" << json_num(r.exec_time)
+     << ",\"imbalance\":" << json_num(r.imbalance) << ",\"events\":" << r.events
+     << ",\"priority_resets\":" << r.priority_resets << ",\"ranks\":[";
+  for (std::size_t rank = 0; rank < r.trace.num_ranks(); ++rank) {
+    const trace::RankStats stats = r.trace.stats(RankId{
+        static_cast<std::uint32_t>(rank)});
+    if (rank > 0) os << ',';
+    os << "{\"comp_fraction\":" << json_num(stats.comp_fraction())
+       << ",\"sync_fraction\":" << json_num(stats.sync_fraction()) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_jsonl(const BatchResult& batch, std::ostream& os) {
+  for (const RunOutcome& outcome : batch.runs) {
+    os << to_json_record(outcome) << '\n';
+  }
+}
+
+void write_jsonl_file(const BatchResult& batch, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw SimulationError("cannot open '" + path + "' for writing");
+  write_jsonl(batch, file);
+  file.flush();
+  if (!file) throw SimulationError("failed writing '" + path + "'");
+}
+
+std::string describe(const BatchResult& batch) {
+  std::ostringstream os;
+  os << batch.runs.size() << " runs on " << batch.jobs << " worker"
+     << (batch.jobs == 1 ? "" : "s");
+  if (batch.failures > 0) os << ", " << batch.failures << " FAILED";
+  if (batch.exec_time.count() > 0) {
+    os << "; exec time mean " << json_num(batch.exec_time.mean()) << " s (min "
+       << json_num(batch.exec_time.min()) << ", max "
+       << json_num(batch.exec_time.max()) << ')';
+  }
+  const smt::SampleCacheStats& cache = batch.cache_stats;
+  if (cache.hits + cache.misses > 0) {
+    os << "; shared sampler cache: " << cache.inserts << " measured, "
+       << cache.hits << " hits (" << json_num(cache.hit_rate() * 100.0)
+       << "% hit rate)";
+  }
+  return os.str();
+}
+
+}  // namespace smtbal::runner

@@ -1,0 +1,34 @@
+// Deterministic JSON result records for batch runs.
+//
+// One run serialises to one single-line JSON object (JSONL), so a batch
+// file diffs line-by-line against another worker count. The records are
+// byte-identical for any --jobs value: field order is fixed, doubles are
+// printed with round-trip precision, and scheduling-dependent data (wall
+// time, sampler hit counters) is deliberately excluded — the shared-cache
+// hit rate is reported separately by describe(), outside the records.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "runner/batch.hpp"
+
+namespace smtbal::runner {
+
+/// Serialises one outcome as a single-line JSON object (no trailing
+/// newline). Deterministic: identical for any worker count.
+[[nodiscard]] std::string to_json_record(const RunOutcome& outcome);
+
+/// Writes one record per line, spec order (the BENCH_*.json convention:
+/// one JSONL file per bench binary).
+void write_jsonl(const BatchResult& batch, std::ostream& os);
+
+/// write_jsonl to `path`, creating/truncating the file. Throws
+/// SimulationError if the file cannot be written.
+void write_jsonl_file(const BatchResult& batch, const std::string& path);
+
+/// Human-readable batch summary: jobs, failures, exec-time spread and the
+/// shared-cache hit rate. Scheduling-dependent — print it, don't diff it.
+[[nodiscard]] std::string describe(const BatchResult& batch);
+
+}  // namespace smtbal::runner

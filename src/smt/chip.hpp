@@ -19,6 +19,7 @@ struct ChipConfig {
   mem::HierarchyConfig memory;
 
   void validate() const;
+  [[nodiscard]] bool operator==(const ChipConfig&) const = default;
 
   [[nodiscard]] std::uint32_t num_contexts() const {
     return num_cores * kThreadsPerCore;

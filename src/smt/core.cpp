@@ -37,8 +37,10 @@ void Core::bind_stream(ThreadSlot slot, isa::StreamGen* stream) {
   gct_used_ -= static_cast<std::uint32_t>(thread.window.size());
   thread.window.clear();
   thread.mispredict_pending = false;
+  thread.pending_branch_seq = 0;
   thread.redirect_until = 0;
   thread.fetch_empty = false;
+  thread.next_seq = 0;
   // Deterministic per (core, slot, kernel): two identical configurations
   // measure identically regardless of sampling order.
   thread.front_end_rng.reseed(0xFE7C4ULL ^ (std::uint64_t{core_index_} << 20) ^
@@ -57,6 +59,16 @@ HwPriority Core::priority(ThreadSlot slot) const {
   return threads_[slot.value()].priority;
 }
 
+bool Core::decode_ready(ThreadSlot slot) const {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  return can_decode(threads_[slot.value()]);
+}
+
+std::uint64_t Core::next_seq(ThreadSlot slot) const {
+  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  return threads_[slot.value()].next_seq;
+}
+
 const ThreadPerf& Core::perf(ThreadSlot slot) const {
   SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
   return threads_[slot.value()].perf;
@@ -70,7 +82,13 @@ void Core::drain() {
   for (ThreadState& thread : threads_) {
     thread.window.clear();
     thread.mispredict_pending = false;
+    thread.pending_branch_seq = 0;
     thread.redirect_until = 0;
+    // A drained context starts from an empty fetch buffer *state*, not an
+    // empty fetch buffer: leaving fetch_empty set would make the context
+    // refuse decode on its first post-drain cycle.
+    thread.fetch_empty = false;
+    thread.next_seq = 0;
   }
   gct_used_ = 0;
 }

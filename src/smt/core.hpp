@@ -64,6 +64,7 @@ struct CoreConfig {
   bool work_conserving_decode = false;
 
   void validate() const;
+  [[nodiscard]] bool operator==(const CoreConfig&) const = default;
 };
 
 /// Per-thread performance counters for one measurement window.
@@ -109,6 +110,14 @@ class Core {
 
   [[nodiscard]] std::uint32_t gct_used() const { return gct_used_; }
   [[nodiscard]] const CoreConfig& config() const { return config_; }
+
+  /// True when `slot` could decode right now: context bound, fetch buffer
+  /// non-empty, no pending branch redirect, window and GCT space left.
+  [[nodiscard]] bool decode_ready(ThreadSlot slot) const;
+
+  /// Next decode sequence number of `slot` (introspection; drain() and
+  /// bind_stream() restart the numbering).
+  [[nodiscard]] std::uint64_t next_seq(ThreadSlot slot) const;
 
  private:
   struct InFlight {

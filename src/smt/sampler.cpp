@@ -32,13 +32,47 @@ ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
   SMTBAL_REQUIRE(options_.window_cycles > 0, "window must be positive");
 }
 
+std::optional<SampleResult> SampleCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void SampleCache::publish(std::uint64_t key, const SampleResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.emplace(key, result).second) ++stats_.inserts;
+}
+
+SampleCacheStats SampleCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SampleCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
 const SampleResult& ThroughputSampler::sample(const ChipLoad& load) {
   ++stats_.lookups;
   const std::uint64_t key = load.key();
   if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (shared_cache_ != nullptr) {
+    if (std::optional<SampleResult> shared = shared_cache_->lookup(key)) {
+      ++stats_.shared_hits;
+      auto [it, inserted] = cache_.emplace(key, *shared);
+      SMTBAL_CHECK(inserted);
+      return it->second;
+    }
+  }
   ++stats_.misses;
   auto [it, inserted] = cache_.emplace(key, measure(load));
   SMTBAL_CHECK(inserted);
+  if (shared_cache_ != nullptr) shared_cache_->publish(key, it->second);
   return it->second;
 }
 

@@ -12,6 +12,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -53,7 +55,48 @@ struct SampleResult {
 
 struct SamplerStats {
   std::uint64_t lookups = 0;
-  std::uint64_t misses = 0;  ///< cycle-level simulations actually run
+  std::uint64_t misses = 0;       ///< cycle-level simulations actually run
+  std::uint64_t shared_hits = 0;  ///< local misses served by a shared cache
+};
+
+struct SampleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Mutex-guarded (key -> SampleResult) cache shared between samplers in
+/// different threads. `measure()` is a pure function of (chip config,
+/// sampler options, load) — see ThroughputSampler::measure — so every
+/// sampler attached to one SampleCache MUST be built from the same
+/// ChipConfig and Options; under that invariant the cached value for a key
+/// is identical no matter which thread computed it, and concurrent batch
+/// runs stay deterministic. Lost races merely duplicate a measurement.
+class SampleCache {
+ public:
+  /// Returns the cached result for `key`, if any. Counts a hit or a miss.
+  [[nodiscard]] std::optional<SampleResult> lookup(std::uint64_t key);
+
+  /// Publishes a measured result. First writer wins; a lost race is
+  /// dropped (both writers computed the same value).
+  void publish(std::uint64_t key, const SampleResult& result);
+
+  /// Snapshot of the hit/miss counters (totals across all attached
+  /// samplers; order-dependent under concurrency — report, don't compare).
+  [[nodiscard]] SampleCacheStats stats() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, SampleResult> map_;
+  SampleCacheStats stats_;
 };
 
 class ThroughputSampler {
@@ -62,6 +105,8 @@ class ThroughputSampler {
     Cycle warmup_cycles = 30'000;
     Cycle window_cycles = 120'000;
     std::uint64_t seed = 0xB05Eu;
+
+    [[nodiscard]] bool operator==(const Options&) const = default;
   };
 
   ThroughputSampler(ChipConfig config, Options options);
@@ -69,11 +114,25 @@ class ThroughputSampler {
       : ThroughputSampler(std::move(config), Options{}) {}
 
   /// Returns the steady-state rates for `load`, running the cycle model on
-  /// a miss. Results are memoised for the sampler's lifetime.
+  /// a miss. Results are memoised for the sampler's lifetime. If a shared
+  /// cache is attached, local misses consult it before measuring and
+  /// measured results are published back to it.
   const SampleResult& sample(const ChipLoad& load);
+
+  /// Attaches a cross-thread result cache (may be nullptr to detach). The
+  /// caller must only share one cache between samplers constructed from
+  /// equal ChipConfig and Options (see SampleCache). The sampler itself is
+  /// NOT thread-safe — one sampler per thread, one cache per domain.
+  void attach_shared_cache(std::shared_ptr<SampleCache> cache) {
+    shared_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<SampleCache>& shared_cache() const {
+    return shared_cache_;
+  }
 
   [[nodiscard]] const SamplerStats& stats() const { return stats_; }
   [[nodiscard]] const ChipConfig& chip_config() const { return config_; }
+  [[nodiscard]] const Options& options() const { return options_; }
 
  private:
   SampleResult measure(const ChipLoad& load);
@@ -82,6 +141,7 @@ class ThroughputSampler {
   Options options_;
   Chip chip_;
   std::unordered_map<std::uint64_t, SampleResult> cache_;
+  std::shared_ptr<SampleCache> shared_cache_;
   SamplerStats stats_;
 };
 

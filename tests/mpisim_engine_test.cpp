@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "common/error.hpp"
 #include "isa/kernel.hpp"
@@ -305,6 +306,75 @@ TEST(Engine, NoiseExtendsExecutionAndResetsPriorities) {
   noisy.noise_horizon = 10.0;
   const RunResult noisy_result = run(app, Placement::identity(1), noisy);
   EXPECT_GT(noisy_result.exec_time, baseline * 1.02);
+}
+
+TEST(Engine, BackToBackZeroCostBarriersComplete) {
+  // Regression: a zero-cost collective releases its ranks inside
+  // arrive_collective; the released rank can immediately arrive at the
+  // *next* barrier, re-entering arrive_collective and mutating
+  // barrier_arrived_ while the release loop iterated. With thousands of
+  // consecutive zero-cost barriers the old code also recursed once per
+  // barrier (unbounded stack depth). The release queue must make this
+  // iterative and keep every epoch intact.
+  constexpr int kBarriers = 2000;
+  Application app;
+  app.ranks.resize(2);
+  for (auto& rank : app.ranks) {
+    rank.compute(kid(), 1e6);
+    for (int i = 0; i < kBarriers; ++i) rank.barrier();
+  }
+  EngineConfig config = fast_config();
+  config.barrier_latency = 0.0;
+  config.max_events = 100'000'000;
+  EpochRecorder recorder;
+  Engine engine(app, Placement::from_linear({0, 2}), config, shared_sampler());
+  engine.set_policy(&recorder);
+  const RunResult result = engine.run();
+  EXPECT_GT(result.exec_time, 0.0);
+  // All zero-cost epochs collapse into one event, so check_epochs emits a
+  // single report — but it must account for every one of the barriers.
+  ASSERT_FALSE(recorder.reports.empty());
+  EXPECT_EQ(recorder.reports.back().epoch, kBarriers);
+}
+
+TEST(Engine, SetRankPriorityBeforeSpawnReportsNotSpawned) {
+  Application app;
+  app.ranks.resize(1);
+  app.ranks[0].compute(kid(), 1e6);
+  Engine engine(app, Placement::identity(1), fast_config(), shared_sampler());
+  try {
+    engine.set_rank_priority(RankId{0}, 5);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("not spawned"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(Engine, SetRankPriorityRejectsOutOfRangeRank) {
+  // Once processes exist, an out-of-range rank must be reported as such —
+  // not with the "not spawned yet" message the old guard produced.
+  class OutOfRangePolicy final : public BalancePolicy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "oor"; }
+    void on_start(EngineControl& control) override {
+      try {
+        control.set_rank_priority(RankId{7}, 5);
+      } catch (const InvalidArgument& e) {
+        message = e.what();
+      }
+    }
+    std::string message;
+  };
+  Application app;
+  app.ranks.resize(1);
+  app.ranks[0].compute(kid(), 1e6);
+  OutOfRangePolicy policy;
+  Engine engine(app, Placement::identity(1), fast_config(), shared_sampler());
+  engine.set_policy(&policy);
+  (void)engine.run();
+  EXPECT_NE(policy.message.find("rank out of range"), std::string::npos)
+      << "got: " << policy.message;
 }
 
 TEST(Engine, RanksWithUnequalPhaseCountsFinishIndependently) {

@@ -263,6 +263,50 @@ TEST(Arbiter, LeftoverRuleLetsVeryLowDecodeUnusedCycles) {
             DecodeGrant::kThreadA);
 }
 
+TEST(Arbiter, LeftoverRuleMirroredForThreadB) {
+  // (MEDIUM, VERY-LOW): every slot belongs to A; B only runs on leftovers.
+  const DecodeArbiter arbiter(HwPriority::kMedium, HwPriority::kVeryLow);
+  ASSERT_TRUE(arbiter.share().b_leftover_only);
+  // Owner wants: owner decodes, on every cycle of the slice.
+  for (Cycle c = 0; c < 64; ++c) {
+    EXPECT_EQ(arbiter.grant(c, {true, true}, {true, true}),
+              DecodeGrant::kThreadA)
+        << "cycle " << c;
+  }
+  // A resource-blocked (has instructions but cannot decode): the leftover
+  // rule still donates the cycle to B — unlike the strict Table II slicing,
+  // which would waste it.
+  EXPECT_EQ(arbiter.grant(0, {false, true}, {true, true}),
+            DecodeGrant::kThreadB);
+  // A fetch-starved: donated as well.
+  EXPECT_EQ(arbiter.grant(0, {false, false}, {true, true}),
+            DecodeGrant::kThreadB);
+  // B has nothing to decode: the cycle idles.
+  EXPECT_EQ(arbiter.grant(0, {false, false}, {false, false}),
+            DecodeGrant::kNone);
+}
+
+TEST(Arbiter, OffVsVeryLowGrantsOneOf32) {
+  // Table III (0, 1): the VERY-LOW thread receives 1 of 32 decode cycles;
+  // the OFF thread receives nothing, ever.
+  const DecodeArbiter off_a(HwPriority::kOff, HwPriority::kVeryLow);
+  const GrantCount counts = count_grants(off_a, 3200);
+  EXPECT_EQ(counts.a, 0u);
+  EXPECT_EQ(counts.b, 100u);
+  EXPECT_EQ(counts.none, 3100u);
+  // The OFF thread is never granted even if it claims to want the slot.
+  for (Cycle c = 0; c < 64; ++c) {
+    EXPECT_NE(off_a.grant(c, {true, true}, {true, true}), DecodeGrant::kThreadA)
+        << "cycle " << c;
+  }
+
+  // Mirrored: (1, 0) gives thread A the 1-in-32 slots.
+  const DecodeArbiter off_b(HwPriority::kVeryLow, HwPriority::kOff);
+  const GrantCount mirrored = count_grants(off_b, 3200);
+  EXPECT_EQ(mirrored.a, 100u);
+  EXPECT_EQ(mirrored.b, 0u);
+}
+
 TEST(Arbiter, PowerSaveGrantsOneOf64Each) {
   const DecodeArbiter arbiter(HwPriority::kVeryLow, HwPriority::kVeryLow);
   const GrantCount counts = count_grants(arbiter, 6400);

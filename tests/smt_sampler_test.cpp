@@ -146,6 +146,56 @@ TEST(Sampler, CrossCoreInterferenceIsSmall) {
   EXPECT_NEAR(shared, solo, solo * 0.05);
 }
 
+TEST(SampleCache, ServesPublishedResultsAndCountsHits) {
+  SampleCache cache;
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  SampleResult result;
+  result.ipc[0] = 1.25;
+  cache.publish(42, result);
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->ipc[0], 1.25);
+  // Duplicate publish: first writer wins, no double insert.
+  SampleResult other;
+  other.ipc[0] = 9.0;
+  cache.publish(42, other);
+  EXPECT_DOUBLE_EQ(cache.lookup(42)->ipc[0], 1.25);
+  const SampleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NEAR(stats.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Sampler, SharedCacheAvoidsRemeasuring) {
+  // Two samplers (as two BatchRunner workers would own) attached to one
+  // cache: the second sampler serves the first's measurement without
+  // running the cycle model, and returns bit-identical rates.
+  const auto cache = std::make_shared<SampleCache>();
+  ThroughputSampler s1(ChipConfig{}, fast_options());
+  ThroughputSampler s2(ChipConfig{}, fast_options());
+  s1.attach_shared_cache(cache);
+  s2.attach_shared_cache(cache);
+
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const double first = s1.sample(load).ipc[0];
+  EXPECT_EQ(s1.stats().misses, 1u);
+  EXPECT_EQ(cache->stats().inserts, 1u);
+
+  const double second = s2.sample(load).ipc[0];
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(s2.stats().misses, 0u) << "the shared cache must serve the hit";
+  EXPECT_EQ(s2.stats().shared_hits, 1u);
+
+  // s2's local cache now holds the entry: a repeat lookup touches neither
+  // the chip model nor the shared cache.
+  (void)s2.sample(load);
+  EXPECT_EQ(s2.stats().shared_hits, 1u);
+  EXPECT_EQ(cache->stats().hits, 1u);
+}
+
 TEST(Sampler, RejectsBadOptions) {
   ThroughputSampler::Options options;
   options.window_cycles = 0;
