@@ -155,6 +155,41 @@ void BM_EngineBarrierApp(benchmark::State& state) {
 BENCHMARK(BM_EngineBarrierApp)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+void BM_EngineBarrierAppWide(benchmark::State& state) {
+  // Event-kernel scaling: the same barrier app at 16 ranks on an 8-core
+  // chip. With the O(ranks) per-step rescan this grew linearly in rank
+  // count per event; the heap-based kernel pays O(log ranks) per pop, so
+  // per-barrier cost should stay close to the 4-rank figure.
+  const auto kernel = hpc().id;
+  mpisim::EngineConfig config;
+  config.chip.num_cores = 8;
+  config.chip.memory.num_cores = 8;
+  config.sampler = {.warmup_cycles = 20000, .window_cycles = 80000, .seed = 1};
+  auto sampler =
+      std::make_shared<smt::ThroughputSampler>(config.chip, config.sampler);
+  constexpr std::size_t kRanks = 16;
+  mpisim::Application app;
+  app.ranks.resize(kRanks);
+  std::uint64_t spread = 0;
+  for (auto& rank : app.ranks) {
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      // Slightly uneven work so ranks finish at distinct times (the
+      // worst case for the rescan: every completion is its own step).
+      rank.compute(kernel, 1e8 + 1e5 * static_cast<double>(spread % kRanks))
+          .barrier();
+    }
+    ++spread;
+  }
+  const auto placement = mpisim::Placement::identity(kRanks);
+  for (auto _ : state) {
+    mpisim::Engine engine(app, placement, config, sampler);
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kRanks);
+}
+BENCHMARK(BM_EngineBarrierAppWide)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#include "mpisim/collectives.hpp"
+
+namespace smtbal::mpisim {
+
+void Collectives::release_due(SimTime now, SimTime eps,
+                              std::vector<RankRt>& ranks,
+                              CollectiveClient& client) {
+  // Snapshot the releasable ranks first, then complete them (a completion
+  // may invalidate a queued entry — e.g. advance the rank to the next
+  // collective — so re-check at pop time).
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (ranks[r].state == RunState::kAtBarrier &&
+        ranks[r].ready_at <= now + eps) {
+      release_queue_.push_back(r);
+    }
+  }
+  if (releasing_) return;  // the outermost release_due drains
+  releasing_ = true;
+  for (std::size_t i = 0; i < release_queue_.size(); ++i) {
+    const std::size_t r = release_queue_[i];
+    if (ranks[r].state == RunState::kAtBarrier &&
+        ranks[r].ready_at <= now + eps) {
+      client.release_rank(r);
+    }
+  }
+  release_queue_.clear();
+  releasing_ = false;
+}
+
+void Collectives::post_send(std::uint32_t src, std::uint32_t dst, int tag,
+                            SimTime arrival) {
+  messages_[std::tuple{src, dst, tag}].push_back(arrival);
+}
+
+bool Collectives::match_all(std::uint32_t rank, std::vector<RecvReq>& posted,
+                            SimTime& max_arrival) {
+  max_arrival = 0.0;
+  bool all = true;
+  for (RecvReq& req : posted) {
+    if (!req.matched) {
+      const auto key = std::tuple{req.peer, rank, req.tag};
+      auto it = messages_.find(key);
+      if (it != messages_.end() && !it->second.empty()) {
+        req.matched = true;
+        req.arrival = it->second.front();
+        it->second.pop_front();
+      }
+    }
+    if (req.matched) {
+      max_arrival = std::max(max_arrival, req.arrival);
+    } else {
+      all = false;
+    }
+  }
+  return all;
+}
+
+}  // namespace smtbal::mpisim

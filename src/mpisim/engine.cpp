@@ -2,88 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
-#include <map>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/event_queue.hpp"
+#include "mpisim/rank_state.hpp"
 
 namespace smtbal::mpisim {
 
+namespace detail {
+
 namespace {
-
-constexpr double kInstrEps = 1e-6;
 constexpr SimTime kTimeEps = 1e-12;
-constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}  // namespace
 
-enum class RunState : std::uint8_t {
-  kComputing,
-  kDelaying,
-  kAtBarrier,
-  kAtWaitAll,
-  kDone,
-};
-
-std::string_view to_string(RunState state) {
-  switch (state) {
-    case RunState::kComputing: return "computing";
-    case RunState::kDelaying: return "delaying";
-    case RunState::kAtBarrier: return "at-barrier";
-    case RunState::kAtWaitAll: return "at-waitall";
-    case RunState::kDone: return "done";
-  }
-  return "?";
-}
-
-struct RecvReq {
-  std::uint32_t peer = 0;
-  int tag = 0;
-  bool matched = false;
-  SimTime arrival = 0.0;
-};
-
-struct RankRt {
-  std::size_t phase = 0;
-  RunState state = RunState::kComputing;
-  double remaining = 0.0;
-  isa::KernelId kernel = 0;
-  trace::RankState compute_traced_as = trace::RankState::kCompute;
-  trace::RankState delay_traced_as = trace::RankState::kStat;
-  SimTime delay_until = 0.0;
-  SimTime ready_at = kInf;  ///< barrier release / waitall completion
-  std::vector<RecvReq> posted;
-  int epochs = 0;
-  // Trace bookkeeping.
-  trace::RankState shown = trace::RankState::kInit;
-  SimTime state_since = 0.0;
-  // Per-epoch accumulators for policy reports.
-  SimTime acc_compute = 0.0;
-  SimTime acc_wait = 0.0;
+struct RunStats {
+  SimTime end_time = 0.0;
+  std::uint64_t events = 0;
 };
 
 /// The whole per-run simulation state; Engine::run() builds one, runs it,
-/// and extracts the result.
-class Sim {
+/// and composes the result from the observers.
+///
+/// The run is a pure event loop: rank completions are *predicted* into the
+/// event queue (compute finish times from the piecewise-constant rates,
+/// delay ends, message arrivals, barrier releases, noise windows) and
+/// popped in (time, seq) order. A prediction invalidated by a rate change
+/// or preemption is not searched for in the heap; the rank's generation
+/// counter is bumped and the stale entry is discarded when it surfaces.
+class Sim final : public CollectiveClient {
  public:
   Sim(const Application& app, const Placement& placement,
       const EngineConfig& config, smt::ThroughputSampler& sampler,
-      os::KernelModel& kernel, const std::vector<Pid>& pids,
-      BalancePolicy* policy, EngineControl& control)
+      os::KernelModel& kernel, const std::vector<Pid>& pids, ObserverBus& bus)
       : app_(app),
         placement_(placement),
         config_(config),
         sampler_(sampler),
         kernel_(kernel),
         pids_(pids),
-        policy_(policy),
-        control_(control),
-        tracer_(app.size()),
+        bus_(bus),
         ranks_(app.size()),
         spin_kernel_(
-            isa::KernelRegistry::instance().by_name(config.spin_kernel).id) {
+            isa::KernelRegistry::instance().by_name(config.spin_kernel).id),
+        network_(config.network),
+        collectives_(app.size()) {
     const std::uint32_t contexts = config_.chip.num_contexts();
     rank_on_linear_.assign(contexts, -1);
     preempt_until_.assign(contexts, 0.0);
@@ -91,12 +58,21 @@ class Sim {
       rank_on_linear_[linear_of(r)] = static_cast<int>(r);
     }
     if (config_.noise_horizon > 0.0) {
-      noise_ = os::generate_noise(config_.noise, config_.noise_horizon,
-                                  contexts, smt::kThreadsPerCore);
+      noise_ = os::NoiseSource(config_.noise, config_.noise_horizon, contexts,
+                               smt::kThreadsPerCore);
     }
   }
 
-  RunResult run();
+  RunStats run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Engine::set_rank_priority landed while the run is live: publish the
+  /// change (the next refresh_rates() re-derives the affected rates).
+  void notify_priority_change(RankId rank, int from, int to) {
+    emit_meta(EventKind::kPriorityChange, rank.value());
+    bus_.notify_priority_change(rank, from, to, now_);
+  }
 
  private:
   [[nodiscard]] std::uint32_t linear_of(std::size_t rank) const {
@@ -105,30 +81,26 @@ class Sim {
   [[nodiscard]] bool preempted(std::size_t rank) const {
     return preempt_until_[linear_of(rank)] > now_ + kTimeEps;
   }
-  [[nodiscard]] bool all_done() const {
-    return done_count_ == ranks_.size();
-  }
-
-  [[nodiscard]] trace::RankState base_trace(const RankRt& rt) const {
-    switch (rt.state) {
-      case RunState::kComputing: return rt.compute_traced_as;
-      case RunState::kDelaying: return rt.delay_traced_as;
-      case RunState::kAtBarrier:
-      case RunState::kAtWaitAll: return trace::RankState::kSync;
-      case RunState::kDone: return trace::RankState::kDone;
-    }
-    return trace::RankState::kCompute;
-  }
+  [[nodiscard]] bool all_done() const { return done_count_ == ranks_.size(); }
 
   void set_trace(std::size_t rank, trace::RankState state) {
     RankRt& rt = ranks_[rank];
     if (rt.shown == state) return;
     if (now_ > rt.state_since && rt.shown != trace::RankState::kDone) {
-      tracer_.record(RankId{static_cast<std::uint32_t>(rank)}, rt.state_since,
-                     now_, rt.shown);
+      bus_.notify_interval(RankId{static_cast<std::uint32_t>(rank)},
+                           rt.state_since, now_, rt.shown);
     }
     rt.state_since = now_;
     rt.shown = state;
+  }
+
+  /// Publishes a synthesized (never-queued) event to the observers.
+  void emit_meta(EventKind kind, std::uint32_t subject) {
+    Event event;
+    event.time = now_;
+    event.kind = kind;
+    event.subject = subject;
+    bus_.notify_event(event);
   }
 
   void finish_rank(std::size_t rank) {
@@ -139,39 +111,104 @@ class Sim {
     ++done_count_;
   }
 
-  /// Matches posted receives against arrived sends; returns true when all
-  /// are matched, in which case `max_arrival` holds the completion time.
-  bool match_all(std::size_t rank, SimTime& max_arrival) {
+  /// Materialises the rank's compute progress up to now_ (the segment
+  /// boundary of the piecewise-constant integration).
+  void accrue(std::size_t rank) {
     RankRt& rt = ranks_[rank];
-    max_arrival = 0.0;
-    bool all = true;
-    for (RecvReq& req : rt.posted) {
-      if (!req.matched) {
-        const auto key = std::tuple{req.peer, static_cast<std::uint32_t>(rank),
-                                    req.tag};
-        auto it = messages_.find(key);
-        if (it != messages_.end() && !it->second.empty()) {
-          req.matched = true;
-          req.arrival = it->second.front();
-          it->second.pop_front();
-        }
-      }
-      if (req.matched) {
-        max_arrival = std::max(max_arrival, req.arrival);
-      } else {
-        all = false;
-      }
+    const SimTime dt = now_ - rt.accrued_at;
+    if (dt > 0.0) {
+      rt.remaining -= rt.rate * dt;
+      rt.acc_compute += dt;
     }
-    return all;
+    rt.accrued_at = now_;
   }
 
-  /// A new message for `rank` arrived: if it is blocked in waitall,
-  /// recompute its readiness (and complete it if already due).
+  /// Starts a fresh integration segment at `rate` and predicts the
+  /// completion into the queue (no prediction for a starved rate, exactly
+  /// as the rescan loop had no next-event candidate for it).
+  void start_segment(std::size_t rank, double rate) {
+    RankRt& rt = ranks_[rank];
+    rt.rate = rate;
+    rt.accrued_at = now_;
+    ++rt.compute_gen;
+    rt.pred_valid = false;
+    if (rate > 0.0) {
+      queue_.push(now_ + rt.remaining / rate, EventKind::kComputeDone,
+                  static_cast<std::uint32_t>(rank), rt.compute_gen);
+      rt.pred_valid = true;
+    }
+  }
+
+  /// Drops a queued compute prediction (rate change, preemption) without
+  /// touching the heap: the generation bump makes the queued entry stale.
+  void invalidate_prediction(std::size_t rank) {
+    RankRt& rt = ranks_[rank];
+    rt.pred_valid = false;
+    ++rt.compute_gen;
+  }
+
+  /// Re-derives rates if the chip load changed, and (re-)predicts
+  /// completions — but only for the contexts whose sampled rate actually
+  /// changed or that started a fresh compute segment; everyone else's
+  /// queued prediction stays valid.
+  void refresh_rates() {
+    const smt::ChipLoad load = build_load();
+    const std::uint64_t key = load.key();
+    if (have_rates_ && key == load_key_) {
+      for (const std::size_t r : fresh_compute_) {
+        RankRt& rt = ranks_[r];
+        if (rt.state != RunState::kComputing || rt.pred_valid || preempted(r)) {
+          continue;
+        }
+        start_segment(r, rates_.instr_rate[linear_of(r)]);
+      }
+      fresh_compute_.clear();
+      return;
+    }
+    load_key_ = key;
+    have_rates_ = true;
+    // Copy, not reference: the sampler's map may rehash on later misses.
+    rates_ = sampler_.sample(load);
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      RankRt& rt = ranks_[r];
+      if (rt.state != RunState::kComputing || preempted(r)) continue;
+      const double rate = rates_.instr_rate[linear_of(r)];
+      if (!rt.pred_valid) {
+        start_segment(r, rate);
+      } else if (rate != rt.rate) {
+        accrue(r);
+        start_segment(r, rate);
+      }
+    }
+    fresh_compute_.clear();
+  }
+
+  /// Current chip load: what every context runs right now.
+  [[nodiscard]] smt::ChipLoad build_load() const {
+    smt::ChipLoad load;
+    for (std::uint32_t ctx = 0; ctx < config_.chip.num_contexts(); ++ctx) {
+      const CpuId cpu = config_.chip.cpu(ctx);
+      if (!kernel_.process_on(cpu).has_value()) continue;  // idle context
+      const int rank = rank_on_linear_[ctx];
+      SMTBAL_CHECK(rank >= 0);
+      const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+      const bool computing = rt.state == RunState::kComputing &&
+                             !preempted(static_cast<std::size_t>(rank));
+      load.contexts[ctx] = smt::ContextLoad{
+          computing ? rt.kernel : spin_kernel_,
+          kernel_.effective_priority(cpu)};
+    }
+    return load;
+  }
+
+  /// A message for `rank` arrived: if it is blocked in waitall, recompute
+  /// its readiness (and complete it if already due).
   void notify_receiver(std::size_t rank) {
     RankRt& rt = ranks_[rank];
     if (rt.state != RunState::kAtWaitAll) return;
     SimTime max_arrival = 0.0;
-    if (match_all(rank, max_arrival)) {
+    if (collectives_.match_all(static_cast<std::uint32_t>(rank), rt.posted,
+                               max_arrival)) {
       rt.ready_at = std::max(max_arrival, now_);
       if (rt.ready_at <= now_ + kTimeEps) complete_block(rank);
     }
@@ -186,67 +223,51 @@ class Sim {
       case RunState::kDelaying:
         break;
       case RunState::kAtBarrier:
+        rt.acc_wait += now_ - rt.wait_since;
         ++rt.epochs;
+        epochs_dirty_ = true;
         break;
       case RunState::kAtWaitAll:
+        rt.acc_wait += now_ - rt.wait_since;
         rt.posted.clear();
         ++rt.epochs;
+        epochs_dirty_ = true;
         break;
       case RunState::kDone:
         return;
     }
-    rt.ready_at = kInf;
+    rt.ready_at = kSimInf;
     ++rt.phase;
     advance_rank(rank);
   }
 
+  // CollectiveClient: a due collective releases this rank.
+  void release_rank(std::size_t rank) override { complete_block(rank); }
+
   /// The rank arrives at a global collective; when the last participant
   /// arrives, everyone is released after `release_cost` (the collective
   /// sequences are identical across ranks — validated — so every arriver
-  /// passes the same cost).
-  ///
-  /// Zero-cost releases are drained iteratively: completing a rank can
-  /// bring it straight to the *next* barrier (back-to-back collectives),
-  /// which re-enters this function and mutates barrier_arrived_. Naively
-  /// completing ranks inside the loop over ranks_ therefore recursed once
-  /// per consecutive zero-cost collective (unbounded stack depth) while
-  /// iterating state it was mutating. Instead, releasable ranks are
-  /// collected into release_queue_ and drained only by the outermost call;
-  /// re-entrant arrivals just append to the queue.
+  /// passes the same cost). A costed release is scheduled as a single
+  /// kBarrierRelease event; a zero-cost release drains inline through the
+  /// collectives module's re-entrant-safe queue.
   void arrive_collective(std::size_t rank, SimTime release_cost) {
     RankRt& rt = ranks_[rank];
     rt.state = RunState::kAtBarrier;
-    rt.ready_at = kInf;
+    rt.ready_at = kSimInf;
+    rt.wait_since = now_;
     set_trace(rank, trace::RankState::kSync);
-    if (++barrier_arrived_ < ranks_.size()) return;
-    barrier_arrived_ = 0;
+    if (!collectives_.arrive()) return;
     const SimTime release = now_ + release_cost;
     for (std::size_t r = 0; r < ranks_.size(); ++r) {
       if (ranks_[r].state == RunState::kAtBarrier) {
         ranks_[r].ready_at = release;
       }
     }
-    if (release > now_ + kTimeEps) return;  // the event loop releases later
-    // Zero-cost collective: snapshot the releasable ranks first, then
-    // complete them (a completion may invalidate a queued entry — e.g.
-    // advance the rank to the next barrier — so re-check at pop time).
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      if (ranks_[r].state == RunState::kAtBarrier &&
-          ranks_[r].ready_at <= now_ + kTimeEps) {
-        release_queue_.push_back(r);
-      }
+    if (release > now_ + kTimeEps) {
+      queue_.push(release, EventKind::kBarrierRelease);
+      return;
     }
-    if (releasing_) return;  // the outermost arrive_collective drains
-    releasing_ = true;
-    for (std::size_t i = 0; i < release_queue_.size(); ++i) {
-      const std::size_t r = release_queue_[i];
-      if (ranks_[r].state == RunState::kAtBarrier &&
-          ranks_[r].ready_at <= now_ + kTimeEps) {
-        complete_block(r);
-      }
-    }
-    release_queue_.clear();
-    releasing_ = false;
+    collectives_.release_due(now_, kTimeEps, ranks_, *this);
   }
 
   /// Executes phases from the rank's cursor until it blocks or finishes.
@@ -270,6 +291,8 @@ class Sim {
         rt.remaining = compute->instructions;
         rt.kernel = compute->kernel;
         rt.compute_traced_as = compute->traced_as;
+        invalidate_prediction(rank);
+        fresh_compute_.push_back(rank);
         set_trace(rank, compute->traced_as);
         return;
       }
@@ -287,11 +310,13 @@ class Sim {
         return;
       }
       if (const auto* send = std::get_if<SendPhase>(&phase)) {
-        const auto key = std::tuple{static_cast<std::uint32_t>(rank),
-                                    send->peer.value(), send->tag};
-        messages_[key].push_back(network_.arrival_time(now_, send->bytes));
+        const SimTime arrival = network_.arrival_time(now_, send->bytes);
+        collectives_.post_send(static_cast<std::uint32_t>(rank),
+                               send->peer.value(), send->tag, arrival);
+        queue_.push(arrival, EventKind::kMsgArrival, send->peer.value(), 0,
+                    MsgPayload{static_cast<std::uint32_t>(rank),
+                               send->peer.value(), send->tag});
         ++rt.phase;
-        notify_receiver(send->peer.value());
         continue;
       }
       if (const auto* recv = std::get_if<RecvPhase>(&phase)) {
@@ -301,15 +326,21 @@ class Sim {
       }
       if (std::holds_alternative<WaitAllPhase>(phase)) {
         SimTime max_arrival = 0.0;
-        const bool all = match_all(rank, max_arrival);
+        const bool all = collectives_.match_all(
+            static_cast<std::uint32_t>(rank), rt.posted, max_arrival);
         if (all && max_arrival <= now_ + kTimeEps) {
           rt.posted.clear();
           ++rt.epochs;
+          epochs_dirty_ = true;
           ++rt.phase;
           continue;
         }
         rt.state = RunState::kAtWaitAll;
-        rt.ready_at = all ? std::max(max_arrival, now_) : kInf;
+        // A fully matched set with in-flight messages completes at the
+        // last arrival; its kMsgArrival event is already queued and wakes
+        // the rank. Unmatched receives wait for a future send.
+        rt.ready_at = all ? std::max(max_arrival, now_) : kSimInf;
+        rt.wait_since = now_;
         set_trace(rank, trace::RankState::kSync);
         return;
       }
@@ -321,6 +352,8 @@ class Sim {
         rt.state = RunState::kDelaying;
         rt.delay_until = now_ + delay->duration;
         rt.delay_traced_as = delay->traced_as;
+        queue_.push(rt.delay_until, EventKind::kDelayDone,
+                    static_cast<std::uint32_t>(rank));
         set_trace(rank, delay->traced_as);
         return;
       }
@@ -328,82 +361,109 @@ class Sim {
     }
   }
 
-  /// Current chip load: what every context runs right now.
-  [[nodiscard]] smt::ChipLoad build_load() const {
-    smt::ChipLoad load;
-    for (std::uint32_t ctx = 0; ctx < config_.chip.num_contexts(); ++ctx) {
-      const CpuId cpu = config_.chip.cpu(ctx);
-      if (!kernel_.process_on(cpu).has_value()) continue;  // idle context
-      const int rank = rank_on_linear_[ctx];
-      SMTBAL_CHECK(rank >= 0);
-      const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
-      const bool computing = rt.state == RunState::kComputing &&
-                             !preempted(static_cast<std::size_t>(rank));
-      load.contexts[ctx] = smt::ContextLoad{
-          computing ? rt.kernel : spin_kernel_,
-          kernel_.effective_priority(cpu)};
-    }
-    return load;
+  /// Schedules the next pending OS-noise event (one outstanding at a
+  /// time; the noise source is consumed in timeline order).
+  void schedule_next_noise() {
+    if (noise_.exhausted()) return;
+    const os::NoiseEvent& event = noise_.peek();
+    queue_.push(event.start, EventKind::kNoisePreempt,
+                event.cpu.linear(smt::kThreadsPerCore));
   }
 
-  void advance_time(SimTime t, const smt::SampleResult& rates) {
-    const SimTime dt = t - now_;
-    if (dt <= 0.0) {
-      now_ = std::max(now_, t);
-      return;
+  void on_noise_preempt() {
+    const os::NoiseEvent event = noise_.next();
+    schedule_next_noise();
+    kernel_.on_interrupt(event.cpu);
+    const std::uint32_t lin = event.cpu.linear(smt::kThreadsPerCore);
+    if (lin >= preempt_until_.size()) return;
+    const bool was_preempted = preempt_until_[lin] > now_ + kTimeEps;
+    preempt_until_[lin] = std::max(preempt_until_[lin], event.end());
+    queue_.push(preempt_until_[lin], EventKind::kNoiseResume, lin);
+    const bool is_preempted = preempt_until_[lin] > now_ + kTimeEps;
+    const int rank = rank_on_linear_[lin];
+    if (rank < 0) return;
+    RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+    if (rt.state == RunState::kDone) return;
+    if (!was_preempted && is_preempted &&
+        rt.state == RunState::kComputing) {
+      // Suspend the integration segment for the preemption window.
+      accrue(static_cast<std::size_t>(rank));
+      invalidate_prediction(static_cast<std::size_t>(rank));
     }
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      RankRt& rt = ranks_[r];
-      switch (rt.state) {
-        case RunState::kComputing:
-          if (!preempted(r)) {
-            rt.remaining -= rates.instr_rate[linear_of(r)] * dt;
-            rt.acc_compute += dt;
-          }
-          break;
-        case RunState::kAtBarrier:
-        case RunState::kAtWaitAll:
-          rt.acc_wait += dt;
-          break;
-        case RunState::kDelaying:
-        case RunState::kDone:
-          break;
-      }
-    }
-    now_ = t;
+    set_trace(static_cast<std::size_t>(rank), trace::RankState::kPreempted);
   }
 
-  void process_noise() {
-    while (noise_idx_ < noise_.size() &&
-           noise_[noise_idx_].start <= now_ + kTimeEps) {
-      const os::NoiseEvent& event = noise_[noise_idx_++];
-      kernel_.on_interrupt(event.cpu);
-      const std::uint32_t lin = event.cpu.linear(smt::kThreadsPerCore);
-      if (lin >= preempt_until_.size()) continue;
-      preempt_until_[lin] = std::max(preempt_until_[lin], event.end());
-      const int rank = rank_on_linear_[lin];
-      if (rank >= 0 && ranks_[static_cast<std::size_t>(rank)].state !=
-                           RunState::kDone) {
-        set_trace(static_cast<std::size_t>(rank),
-                  trace::RankState::kPreempted);
-      }
+  void on_noise_resume(std::uint32_t lin) {
+    preempt_until_[lin] = 0.0;
+    const int rank = rank_on_linear_[lin];
+    if (rank < 0) return;
+    RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+    if (rt.state != RunState::kDone) {
+      set_trace(static_cast<std::size_t>(rank), base_trace(rt));
     }
-    // Expire finished preemptions and restore trace states.
-    for (std::uint32_t lin = 0; lin < preempt_until_.size(); ++lin) {
-      if (preempt_until_[lin] > 0.0 && preempt_until_[lin] <= now_ + kTimeEps) {
-        preempt_until_[lin] = 0.0;
-        const int rank = rank_on_linear_[lin];
-        if (rank >= 0) {
-          const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
-          if (rt.state != RunState::kDone) {
-            set_trace(static_cast<std::size_t>(rank), base_trace(rt));
-          }
+    if (rt.state == RunState::kComputing && !rt.pred_valid) {
+      // Resume the suspended segment; refresh_rates() predicts anew.
+      fresh_compute_.push_back(static_cast<std::size_t>(rank));
+    }
+  }
+
+  /// A queued event that no longer matches the simulation state (lazy
+  /// invalidation): superseded compute predictions and noise resumes of
+  /// preemption windows that were extended or already closed.
+  [[nodiscard]] bool is_stale(const Event& event) const {
+    switch (event.kind) {
+      case EventKind::kComputeDone: {
+        const RankRt& rt = ranks_[event.subject];
+        return event.generation != rt.compute_gen ||
+               rt.state != RunState::kComputing;
+      }
+      case EventKind::kNoiseResume:
+        return preempt_until_[event.subject] == 0.0 ||
+               preempt_until_[event.subject] > event.time + kTimeEps;
+      default:
+        return false;
+    }
+  }
+
+  void dispatch(const Event& event) {
+    switch (event.kind) {
+      case EventKind::kComputeDone: {
+        const std::size_t rank = event.subject;
+        accrue(rank);
+        invalidate_prediction(rank);
+        complete_block(rank);
+        break;
+      }
+      case EventKind::kDelayDone: {
+        RankRt& rt = ranks_[event.subject];
+        if (rt.state == RunState::kDelaying &&
+            rt.delay_until <= now_ + kTimeEps) {
+          complete_block(event.subject);
         }
+        break;
       }
+      case EventKind::kMsgArrival:
+        notify_receiver(event.msg.dst);
+        break;
+      case EventKind::kBarrierRelease:
+        collectives_.release_due(now_, kTimeEps, ranks_, *this);
+        break;
+      case EventKind::kNoisePreempt:
+        on_noise_preempt();
+        break;
+      case EventKind::kNoiseResume:
+        on_noise_resume(event.subject);
+        break;
+      case EventKind::kPriorityChange:
+      case EventKind::kEpochEnd:
+        break;  // meta kinds are never queued
     }
   }
 
-  void check_epochs() {
+  /// Reports a crossed epoch boundary (if any) to the observers; returns
+  /// true when a report was emitted (a policy may have reacted).
+  bool check_epochs() {
+    epochs_dirty_ = false;
     // Finished ranks hold their final epoch count, so the global epoch
     // keeps advancing (and the last epoch gets reported) as ranks exit.
     int min_epochs = std::numeric_limits<int>::max();
@@ -412,7 +472,7 @@ class Sim {
     }
     if (min_epochs == std::numeric_limits<int>::max() ||
         min_epochs <= reported_epochs_) {
-      return;
+      return false;
     }
     reported_epochs_ = min_epochs;
 
@@ -420,12 +480,24 @@ class Sim {
     report.epoch = reported_epochs_;
     report.now = now_;
     report.ranks.reserve(ranks_.size());
-    for (RankRt& rt : ranks_) {
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      RankRt& rt = ranks_[r];
+      // Materialise the lazy accumulators up to the snapshot point.
+      if (rt.state == RunState::kComputing && !preempted(r)) {
+        accrue(r);
+      } else if (rt.state == RunState::kAtBarrier ||
+                 rt.state == RunState::kAtWaitAll) {
+        rt.acc_wait += now_ - rt.wait_since;
+        rt.wait_since = now_;
+      }
       report.ranks.push_back(RankEpochStats{rt.acc_compute, rt.acc_wait});
       rt.acc_compute = 0.0;
       rt.acc_wait = 0.0;
     }
-    if (policy_ != nullptr) policy_->on_epoch(control_, report);
+    emit_meta(EventKind::kEpochEnd,
+              static_cast<std::uint32_t>(report.epoch));
+    bus_.notify_epoch(report);
+    return true;
   }
 
   [[noreturn]] void deadlock() const {
@@ -444,124 +516,102 @@ class Sim {
   smt::ThroughputSampler& sampler_;
   os::KernelModel& kernel_;
   const std::vector<Pid>& pids_;
-  BalancePolicy* policy_;
-  EngineControl& control_;
+  ObserverBus& bus_;
 
-  trace::Tracer tracer_;
   std::vector<RankRt> ranks_;
   isa::KernelId spin_kernel_;
-  Network network_{NetworkConfig{}};
+  Network network_;
+  Collectives collectives_;
+  EventQueue queue_;
   std::vector<int> rank_on_linear_;
   std::vector<SimTime> preempt_until_;
-  std::vector<os::NoiseEvent> noise_;
-  std::size_t noise_idx_ = 0;
-  std::map<std::tuple<std::uint32_t, std::uint32_t, int>, std::deque<SimTime>>
-      messages_;
-  std::size_t barrier_arrived_ = 0;
-  /// Ranks releasable from a zero-cost collective; drained iteratively by
-  /// the outermost arrive_collective (see its comment).
-  std::vector<std::size_t> release_queue_;
-  bool releasing_ = false;
+  os::NoiseSource noise_;
+  /// Ranks that entered a compute phase since the last refresh and still
+  /// need a prediction (covers the no-load-change case: consecutive
+  /// same-kernel segments, resumes from preemption).
+  std::vector<std::size_t> fresh_compute_;
   std::size_t done_count_ = 0;
   int reported_epochs_ = 0;
+  bool epochs_dirty_ = false;
   SimTime now_ = 0.0;
-  std::uint64_t events_ = 0;
+  std::uint64_t events_ = 0;  ///< processed (non-stale) events
+  std::uint64_t pops_ = 0;    ///< all pops, the runaway guard's measure
+  std::uint64_t load_key_ = 0;
+  bool have_rates_ = false;
+  smt::SampleResult rates_{};
 };
 
-RunResult Sim::run() {
-  network_ = Network(config_.network);
-
+RunStats Sim::run() {
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     if (ranks_[r].state != RunState::kDone) advance_rank(r);
   }
-  check_epochs();
+  refresh_rates();
+  if (epochs_dirty_ && check_epochs()) refresh_rates();
+  schedule_next_noise();
 
   while (!all_done()) {
-    SMTBAL_CHECK_MSG(++events_ <= config_.max_events,
+    if (queue_.empty()) deadlock();
+    SMTBAL_CHECK_MSG(++pops_ <= config_.max_events,
                      "engine exceeded max_events — runaway simulation?");
     SMTBAL_CHECK_MSG(now_ <= config_.max_sim_time,
                      "engine exceeded max_sim_time");
-
-    const smt::ChipLoad load = build_load();
-    const smt::SampleResult& rates = sampler_.sample(load);
-
-    SimTime next = kInf;
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      const RankRt& rt = ranks_[r];
-      switch (rt.state) {
-        case RunState::kComputing:
-          if (!preempted(r)) {
-            const double rate = rates.instr_rate[linear_of(r)];
-            if (rate > 0.0) next = std::min(next, now_ + rt.remaining / rate);
-          }
-          break;
-        case RunState::kDelaying:
-          next = std::min(next, rt.delay_until);
-          break;
-        case RunState::kAtBarrier:
-        case RunState::kAtWaitAll:
-          next = std::min(next, rt.ready_at);
-          break;
-        case RunState::kDone:
-          break;
-      }
-    }
-    if (noise_idx_ < noise_.size()) {
-      next = std::min(next, noise_[noise_idx_].start);
-    }
-    for (const SimTime until : preempt_until_) {
-      if (until > now_ + kTimeEps) next = std::min(next, until);
-    }
-
-    if (!(next < kInf)) deadlock();
-
-    advance_time(std::max(next, now_), rates);
-    process_noise();
-
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      RankRt& rt = ranks_[r];
-      switch (rt.state) {
-        case RunState::kComputing:
-          // A residual worth less than a nanosecond of work is rounding
-          // noise from the remaining -= rate*dt updates, not real work.
-          if (!preempted(r) &&
-              (rt.remaining <= kInstrEps ||
-               rt.remaining <= rates.instr_rate[linear_of(r)] * 1e-9)) {
-            complete_block(r);
-          }
-          break;
-        case RunState::kDelaying:
-          if (rt.delay_until <= now_ + kTimeEps) complete_block(r);
-          break;
-        case RunState::kAtBarrier:
-        case RunState::kAtWaitAll:
-          if (rt.ready_at <= now_ + kTimeEps) complete_block(r);
-          break;
-        case RunState::kDone:
-          break;
-      }
-    }
-    check_epochs();
+    const Event event = queue_.pop();
+    if (is_stale(event)) continue;
+    now_ = std::max(now_, event.time);
+    ++events_;
+    bus_.notify_event(event);
+    dispatch(event);
+    refresh_rates();
+    if (epochs_dirty_ && check_epochs()) refresh_rates();
   }
 
   // Flush trailing trace intervals and close the trace.
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     set_trace(r, trace::RankState::kDone);
   }
-  tracer_.finish(now_);
+  bus_.notify_finish(now_);
+  return RunStats{now_, events_};
+}
 
-  const double imbalance = tracer_.imbalance();
-  return RunResult{std::move(tracer_), now_,    imbalance,
-                   events_,            kernel_.priority_resets(),
-                   sampler_.stats()};
+}  // namespace detail
+
+void EngineConfig::validate() const {
+  chip.validate();
+  network.validate();
+  SMTBAL_REQUIRE(chip.num_contexts() <= smt::kMaxContexts,
+                 "EngineConfig.chip has more contexts than the sampler "
+                 "supports (smt::kMaxContexts)");
+  SMTBAL_REQUIRE(std::isfinite(max_sim_time) && max_sim_time > 0.0,
+                 "EngineConfig.max_sim_time must be positive and finite");
+  SMTBAL_REQUIRE(max_events > 0, "EngineConfig.max_events must be positive");
+  SMTBAL_REQUIRE(std::isfinite(barrier_latency) && barrier_latency >= 0.0,
+                 "EngineConfig.barrier_latency must be non-negative and "
+                 "finite");
+  SMTBAL_REQUIRE(std::isfinite(noise_horizon) && noise_horizon >= 0.0,
+                 "EngineConfig.noise_horizon must be non-negative and finite");
+  try {
+    (void)isa::KernelRegistry::instance().by_name(spin_kernel);
+  } catch (const std::exception&) {
+    throw InvalidArgument("EngineConfig.spin_kernel '" + spin_kernel +
+                          "' is not a registered kernel");
+  }
+}
+
+namespace {
+
+std::shared_ptr<smt::ThroughputSampler> make_own_sampler(
+    const EngineConfig& config) {
+  // Validate before the sampler touches the chip config so a broken
+  // configuration fails with a structured error from either constructor.
+  config.validate();
+  return std::make_shared<smt::ThroughputSampler>(config.chip, config.sampler);
 }
 
 }  // namespace
 
 Engine::Engine(Application app, Placement placement, EngineConfig config)
     : Engine(std::move(app), std::move(placement), config,
-             std::make_shared<smt::ThroughputSampler>(config.chip,
-                                                      config.sampler)) {}
+             make_own_sampler(config)) {}
 
 Engine::Engine(Application app, Placement placement, EngineConfig config,
                std::shared_ptr<smt::ThroughputSampler> sampler)
@@ -570,10 +620,23 @@ Engine::Engine(Application app, Placement placement, EngineConfig config,
       config_(std::move(config)),
       sampler_(std::move(sampler)),
       kernel_(config_.kernel_flavor, config_.chip) {
+  config_.validate();
   SMTBAL_REQUIRE(sampler_ != nullptr, "sampler must not be null");
   SMTBAL_REQUIRE(placement_.cpu_of_rank.size() == app_.size(),
                  "placement size must match rank count");
+  for (const CpuId& cpu : placement_.cpu_of_rank) {
+    SMTBAL_REQUIRE(cpu.linear(smt::kThreadsPerCore) <
+                       config_.chip.num_contexts(),
+                   "placement assigns a rank to a CPU beyond "
+                   "chip.num_contexts()");
+  }
   app_.validate();
+}
+
+void Engine::add_observer(SimObserver* observer) {
+  SMTBAL_REQUIRE(observer != nullptr, "observer must not be null");
+  SMTBAL_REQUIRE(!ran_, "add_observer must be called before run()");
+  observers_.push_back(observer);
 }
 
 void Engine::set_rank_priority(RankId rank, int priority) {
@@ -587,6 +650,7 @@ void Engine::set_rank_priority(RankId rank, int priority) {
   // balancer racing process exit would experience.
   const CpuId cpu = placement_.cpu_of_rank[rank.value()];
   if (kernel_.process_on(cpu) != std::optional<Pid>(pid)) return;
+  const int before = smt::level(kernel_.effective_priority(cpu));
   if (kernel_.flavor() == os::KernelFlavor::kPatched) {
     kernel_.write_hmt_priority(pid, priority);
   } else {
@@ -594,6 +658,14 @@ void Engine::set_rank_priority(RankId rank, int priority) {
     // is limited to priorities 2..4 (paper Table I).
     kernel_.set_priority_ornop(pid, smt::priority_from_int(priority),
                                smt::PrivilegeLevel::kUser);
+  }
+  const int after = smt::level(kernel_.effective_priority(cpu));
+  if (after != before && active_bus_ != nullptr) {
+    if (sim_ != nullptr) {
+      sim_->notify_priority_change(rank, before, after);
+    } else {
+      active_bus_->notify_priority_change(rank, before, after, 0.0);
+    }
   }
 }
 
@@ -608,14 +680,45 @@ RunResult Engine::run() {
   SMTBAL_REQUIRE(!ran_, "Engine::run() may be called only once");
   ran_ = true;
 
+  ObserverBus bus;
+  for (SimObserver* observer : observers_) bus.attach(observer);
+  TraceObserver trace_observer(app_.size());
+  MetricsObserver metrics_observer(app_.size());
+  PolicyObserver policy_observer(policy_, *this);
+  bus.attach(&trace_observer);
+  bus.attach(&metrics_observer);
+  if (policy_ != nullptr) bus.attach(&policy_observer);
+
+  // Reset the live-run notification targets however run() exits.
+  struct ActiveRun {
+    Engine& engine;
+    ~ActiveRun() {
+      engine.sim_ = nullptr;
+      engine.active_bus_ = nullptr;
+    }
+  } active{*this};
+  active_bus_ = &bus;
+
   for (std::size_t r = 0; r < app_.size(); ++r) {
     pid_of_rank_.push_back(kernel_.spawn(placement_.cpu_of_rank[r]));
   }
+  bus.notify_start(app_.size());
   if (policy_ != nullptr) policy_->on_start(*this);
 
-  Sim sim(app_, placement_, config_, *sampler_, kernel_, pid_of_rank_,
-          policy_, *this);
-  return sim.run();
+  detail::Sim sim(app_, placement_, config_, *sampler_, kernel_, pid_of_rank_,
+                  bus);
+  sim_ = &sim;
+  const detail::RunStats stats = sim.run();
+
+  RunResult result;
+  result.trace = trace_observer.take();
+  result.exec_time = stats.end_time;
+  result.imbalance = result.trace.imbalance();
+  result.events = stats.events;
+  result.priority_resets = kernel_.priority_resets();
+  result.sampler_stats = sampler_->stats();
+  result.metrics = metrics_observer.take();
+  return result;
 }
 
 }  // namespace smtbal::mpisim

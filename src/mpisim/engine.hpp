@@ -8,6 +8,14 @@
 // next event time is computed analytically. A blocked rank busy-waits
 // (MPICH's progress loop), so it keeps occupying its SMT context with the
 // spin kernel — the very reason hardware priorities help.
+//
+// Internally the engine is an event kernel (event_queue.hpp): completions
+// are predicted into a binary-heap queue and popped in O(log ranks)
+// instead of rescanning every rank per step, with stale predictions
+// invalidated lazily by generation counters. Everything that happens is
+// published on an ObserverBus (observer.hpp): tracing, metrics and
+// balance-policy dispatch are observers, and callers can attach their own
+// via add_observer().
 #pragma once
 
 #include <memory>
@@ -15,7 +23,9 @@
 
 #include "common/types.hpp"
 #include "mpisim/hooks.hpp"
+#include "mpisim/metrics.hpp"
 #include "mpisim/network.hpp"
+#include "mpisim/observer.hpp"
 #include "mpisim/phase.hpp"
 #include "os/kernel.hpp"
 #include "os/noise.hpp"
@@ -23,6 +33,10 @@
 #include "trace/tracer.hpp"
 
 namespace smtbal::mpisim {
+
+namespace detail {
+class Sim;
+}  // namespace detail
 
 struct EngineConfig {
   smt::ChipConfig chip;
@@ -40,15 +54,31 @@ struct EngineConfig {
   /// Runaway guards.
   SimTime max_sim_time = 1e6;
   std::uint64_t max_events = 10'000'000;
+
+  /// Structural sanity checks on the configuration itself: positive
+  /// runaway guards, finite non-negative latencies, a registered spin
+  /// kernel, a chip the sampler can model. Throws InvalidArgument with a
+  /// message naming the offending field.
+  void validate() const;
 };
 
+/// The outcome of one engine run. Move-only: it carries the full trace
+/// (potentially millions of intervals), so aggregation layers hand it
+/// around by move instead of copying.
 struct RunResult {
-  trace::Tracer trace;
+  trace::Tracer trace{};
   SimTime exec_time = 0.0;
   double imbalance = 0.0;
   std::uint64_t events = 0;
   std::uint64_t priority_resets = 0;
   smt::SamplerStats sampler_stats;
+  MetricsReport metrics;
+
+  RunResult() = default;
+  RunResult(RunResult&&) = default;
+  RunResult& operator=(RunResult&&) = default;
+  RunResult(const RunResult&) = delete;
+  RunResult& operator=(const RunResult&) = delete;
 };
 
 class Engine final : public EngineControl {
@@ -63,6 +93,10 @@ class Engine final : public EngineControl {
 
   /// Installs a balancing policy (non-owning; must outlive run()).
   void set_policy(BalancePolicy* policy) { policy_ = policy; }
+
+  /// Attaches an additional observer to the run's bus (non-owning; must
+  /// outlive run()). Must be called before run().
+  void add_observer(SimObserver* observer);
 
   /// Runs the application to completion and returns the trace + metrics.
   /// May be called once per Engine.
@@ -82,8 +116,13 @@ class Engine final : public EngineControl {
   std::shared_ptr<smt::ThroughputSampler> sampler_;
   os::KernelModel kernel_;
   BalancePolicy* policy_ = nullptr;
+  std::vector<SimObserver*> observers_;
   std::vector<Pid> pid_of_rank_;
   bool ran_ = false;
+  /// Set while run() is live so set_rank_priority can notify the bus with
+  /// the current simulation time and invalidate cached rates.
+  detail::Sim* sim_ = nullptr;
+  ObserverBus* active_bus_ = nullptr;
 };
 
 }  // namespace smtbal::mpisim

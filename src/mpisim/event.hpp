@@ -1,0 +1,55 @@
+// Typed events of the discrete-event simulation kernel.
+//
+// Every state transition of the engine is driven by one of these events:
+// the heap-scheduled kinds are pushed into EventQueue with an absolute
+// simulation time, while PriorityChange and EpochEnd are synthesized at
+// dispatch time (they happen *inside* the processing of another event and
+// are delivered to observers immediately, never queued).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace smtbal::mpisim {
+
+enum class EventKind : std::uint8_t {
+  kComputeDone = 0,   ///< a rank's current compute phase finishes
+  kDelayDone = 1,     ///< a fixed-duration delay phase elapses
+  kMsgArrival = 2,    ///< a point-to-point message reaches its receiver
+  kBarrierRelease = 3, ///< a collective's release cost elapses
+  kNoisePreempt = 4,  ///< an OS-noise event steals a CPU
+  kNoiseResume = 5,   ///< a CPU's preemption window ends
+  kPriorityChange = 6, ///< a rank's hardware priority was rewritten (meta)
+  kEpochEnd = 7,      ///< all ranks completed one more sync epoch (meta)
+};
+
+inline constexpr std::size_t kNumEventKinds = 8;
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// Payload of a kMsgArrival event (which message reached whom).
+struct MsgPayload {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  int tag = 0;
+};
+
+struct Event {
+  SimTime time = 0.0;
+  /// Monotone insertion number; the (time, seq) pair totally orders the
+  /// queue, so simultaneous events pop in deterministic insertion order.
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kComputeDone;
+  /// Event-kind dependent subject: the rank for kComputeDone/kDelayDone/
+  /// kPriorityChange, the linear CPU for kNoisePreempt/kNoiseResume.
+  std::uint32_t subject = 0;
+  /// Lazy invalidation: a kComputeDone prediction is only valid while it
+  /// matches the rank's current prediction generation (re-predictions and
+  /// preemptions bump the generation instead of searching the heap).
+  std::uint64_t generation = 0;
+  MsgPayload msg{};
+};
+
+}  // namespace smtbal::mpisim

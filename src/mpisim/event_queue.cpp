@@ -1,0 +1,69 @@
+#include "mpisim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace smtbal::mpisim {
+
+bool EventQueue::before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+std::uint64_t EventQueue::push(SimTime time, EventKind kind,
+                               std::uint32_t subject, std::uint64_t generation,
+                               MsgPayload msg) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{time, seq, kind, subject, generation, msg});
+  sift_up(heap_.size() - 1);
+  return seq;
+}
+
+Event EventQueue::pop() {
+  SMTBAL_CHECK_MSG(!heap_.empty(), "pop() on an empty event queue");
+  Event top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void EventQueue::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!before(heap_[index], heap_[parent])) return;
+    std::swap(heap_[index], heap_[parent]);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = index;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == index) return;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+  }
+}
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComputeDone: return "compute-done";
+    case EventKind::kDelayDone: return "delay-done";
+    case EventKind::kMsgArrival: return "msg-arrival";
+    case EventKind::kBarrierRelease: return "barrier-release";
+    case EventKind::kNoisePreempt: return "noise-preempt";
+    case EventKind::kNoiseResume: return "noise-resume";
+    case EventKind::kPriorityChange: return "priority-change";
+    case EventKind::kEpochEnd: return "epoch-end";
+  }
+  return "?";
+}
+
+}  // namespace smtbal::mpisim

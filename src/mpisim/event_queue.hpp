@@ -1,0 +1,44 @@
+// Binary-heap event queue with deterministic (time, seq) tie-breaking.
+//
+// std::priority_queue is not used because its ordering of equal elements
+// is unspecified across implementations; simultaneous events here pop in
+// exact insertion order, which the engine's reproducibility guarantee
+// (bit-identical runs for identical inputs) depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mpisim/event.hpp"
+
+namespace smtbal::mpisim {
+
+class EventQueue {
+ public:
+  /// Schedules an event; returns the sequence number assigned to it.
+  std::uint64_t push(SimTime time, EventKind kind, std::uint32_t subject = 0,
+                     std::uint64_t generation = 0, MsgPayload msg = {});
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// The earliest event; undefined when empty().
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  /// Removes and returns the earliest event. Throws when empty.
+  Event pop();
+
+  /// Total events ever pushed (also the next sequence number).
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  static bool before(const Event& a, const Event& b);
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace smtbal::mpisim

@@ -9,6 +9,12 @@
 //                 the dynamic balancer (the paper's proposed future work,
 //                 implemented in src/core) reacts.
 //
+// Since the event-kernel refactor, policies are dispatched through the
+// simulation's observer bus (observer.hpp): the engine wraps the installed
+// policy in a PolicyObserver, so on_epoch is just one more bus
+// notification — alongside tracing and metrics — rather than a bespoke
+// callback wired into the simulation core.
+//
 // Policies change priorities exclusively through the patched kernel's
 // /proc/<pid>/hmt_priority interface, exactly as a userspace balancer on
 // the paper's machine would.

@@ -1,0 +1,27 @@
+#include "mpisim/rank_state.hpp"
+
+namespace smtbal::mpisim {
+
+std::string_view to_string(RunState state) {
+  switch (state) {
+    case RunState::kComputing: return "computing";
+    case RunState::kDelaying: return "delaying";
+    case RunState::kAtBarrier: return "at-barrier";
+    case RunState::kAtWaitAll: return "at-waitall";
+    case RunState::kDone: return "done";
+  }
+  return "?";
+}
+
+trace::RankState base_trace(const RankRt& rt) {
+  switch (rt.state) {
+    case RunState::kComputing: return rt.compute_traced_as;
+    case RunState::kDelaying: return rt.delay_traced_as;
+    case RunState::kAtBarrier:
+    case RunState::kAtWaitAll: return trace::RankState::kSync;
+    case RunState::kDone: return trace::RankState::kDone;
+  }
+  return trace::RankState::kCompute;
+}
+
+}  // namespace smtbal::mpisim

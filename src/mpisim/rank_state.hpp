@@ -1,0 +1,77 @@
+// Per-rank runtime state machine of the discrete-event engine.
+//
+// A rank is always in exactly one RunState; the engine advances it through
+// its program's phases, and RankRt carries everything the transition logic
+// needs: the compute-integration segment (remaining instructions, the rate
+// of the current piecewise-constant segment and when it was last accrued),
+// the blocking condition, per-epoch accumulators and trace bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/kernel.hpp"
+#include "trace/state.hpp"
+
+namespace smtbal::mpisim {
+
+inline constexpr SimTime kSimInf = std::numeric_limits<SimTime>::infinity();
+
+enum class RunState : std::uint8_t {
+  kComputing,
+  kDelaying,
+  kAtBarrier,
+  kAtWaitAll,
+  kDone,
+};
+
+[[nodiscard]] std::string_view to_string(RunState state);
+
+/// A posted nonblocking receive, matched later by a WaitAll.
+struct RecvReq {
+  std::uint32_t peer = 0;
+  int tag = 0;
+  bool matched = false;
+  SimTime arrival = 0.0;
+};
+
+struct RankRt {
+  std::size_t phase = 0;
+  RunState state = RunState::kComputing;
+  isa::KernelId kernel = 0;
+  trace::RankState compute_traced_as = trace::RankState::kCompute;
+  trace::RankState delay_traced_as = trace::RankState::kStat;
+  SimTime delay_until = 0.0;
+  SimTime ready_at = kSimInf;  ///< barrier release / waitall completion
+  std::vector<RecvReq> posted;
+  int epochs = 0;
+
+  // Compute integration: `remaining` is exact as of `accrued_at`; the rank
+  // progresses at `rate` until the next accrual boundary (a rate change,
+  // a preemption, an epoch snapshot or the completion itself).
+  double remaining = 0.0;
+  double rate = 0.0;
+  SimTime accrued_at = 0.0;
+  /// Whether a kComputeDone prediction for the current segment is queued.
+  bool pred_valid = false;
+  /// Bumped whenever a queued prediction becomes stale (lazy invalidation).
+  std::uint64_t compute_gen = 0;
+
+  // Trace bookkeeping.
+  trace::RankState shown = trace::RankState::kInit;
+  SimTime state_since = 0.0;
+
+  // Per-epoch accumulators for policy reports. Compute time accrues with
+  // the integration segment; wait time accrues lazily from `wait_since`.
+  SimTime acc_compute = 0.0;
+  SimTime acc_wait = 0.0;
+  SimTime wait_since = 0.0;
+};
+
+/// The trace state a rank shows when not preempted.
+[[nodiscard]] trace::RankState base_trace(const RankRt& rt);
+
+}  // namespace smtbal::mpisim

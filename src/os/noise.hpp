@@ -70,4 +70,34 @@ struct NoiseConfig {
                                                      std::uint32_t num_cpus,
                                                      std::uint32_t slots_per_core);
 
+/// Incremental view over the generated noise timeline: the discrete-event
+/// engine pulls one event at a time and schedules it in its own queue, so
+/// noise is an event *source* rather than a list the engine rescans.
+/// Deterministic for a given config (same order as generate_noise).
+class NoiseSource {
+ public:
+  /// An empty source (no noise).
+  NoiseSource() = default;
+
+  NoiseSource(const NoiseConfig& config, SimTime horizon,
+              std::uint32_t num_cpus, std::uint32_t slots_per_core)
+      : events_(generate_noise(config, horizon, num_cpus, slots_per_core)) {}
+
+  [[nodiscard]] bool exhausted() const { return next_ >= events_.size(); }
+
+  /// The next event, without consuming it. Requires !exhausted().
+  [[nodiscard]] const NoiseEvent& peek() const { return events_[next_]; }
+
+  /// Consumes and returns the next event. Requires !exhausted().
+  NoiseEvent next() { return events_[next_++]; }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return events_.size() - next_;
+  }
+
+ private:
+  std::vector<NoiseEvent> events_;
+  std::size_t next_ = 0;
+};
+
 }  // namespace smtbal::os

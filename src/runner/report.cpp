@@ -44,9 +44,19 @@ std::string json_escape(const std::string& text) {
 
 }  // namespace
 
+std::string json_histogram(const mpisim::DurationHistogram& histogram) {
+  std::string out = "[";
+  for (std::size_t b = 0; b < mpisim::DurationHistogram::kBuckets; ++b) {
+    if (b > 0) out += ',';
+    out += std::to_string(histogram.counts[b]);
+  }
+  out += ']';
+  return out;
+}
+
 std::string to_json_record(const RunOutcome& outcome) {
   std::ostringstream os;
-  os << "{\"schema\":\"smtbal.bench.run/1\",\"label\":\""
+  os << "{\"schema\":\"smtbal.bench.run/2\",\"label\":\""
      << json_escape(outcome.label) << "\",\"index\":" << outcome.index
      << ",\"ok\":" << (outcome.ok ? "true" : "false");
   if (!outcome.ok) {
@@ -56,13 +66,31 @@ std::string to_json_record(const RunOutcome& outcome) {
   const mpisim::RunResult& r = *outcome.result;
   os << ",\"exec_time\":" << json_num(r.exec_time)
      << ",\"imbalance\":" << json_num(r.imbalance) << ",\"events\":" << r.events
-     << ",\"priority_resets\":" << r.priority_resets << ",\"ranks\":[";
+     << ",\"priority_resets\":" << r.priority_resets << ",\"epochs\":"
+     << r.metrics.epochs << ",\"events_by_kind\":{";
+  for (std::size_t k = 0; k < mpisim::kNumEventKinds; ++k) {
+    if (k > 0) os << ',';
+    os << '"' << mpisim::to_string(static_cast<mpisim::EventKind>(k))
+       << "\":" << r.metrics.events_by_kind[k];
+  }
+  os << "},\"ranks\":[";
   for (std::size_t rank = 0; rank < r.trace.num_ranks(); ++rank) {
     const trace::RankStats stats = r.trace.stats(RankId{
         static_cast<std::uint32_t>(rank)});
     if (rank > 0) os << ',';
     os << "{\"comp_fraction\":" << json_num(stats.comp_fraction())
-       << ",\"sync_fraction\":" << json_num(stats.sync_fraction()) << '}';
+       << ",\"sync_fraction\":" << json_num(stats.sync_fraction());
+    if (rank < r.metrics.ranks.size()) {
+      const mpisim::RankMetrics& m = r.metrics.ranks[rank];
+      os << ",\"compute_s\":" << json_num(m.compute)
+         << ",\"wait_s\":" << json_num(m.wait)
+         << ",\"spin_s\":" << json_num(m.spin)
+         << ",\"preempted_s\":" << json_num(m.preempted)
+         << ",\"priority_changes\":" << m.priority_changes
+         << ",\"compute_interval_hist\":" << json_histogram(m.compute_intervals)
+         << ",\"wait_interval_hist\":" << json_histogram(m.wait_intervals);
+    }
+    os << '}';
   }
   os << "]}";
   return os.str();

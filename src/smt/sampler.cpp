@@ -10,7 +10,7 @@ namespace smtbal::smt {
 
 std::uint64_t ChipLoad::key() const {
   // splitmix64-chained hash over the per-context (kernel, priority) words.
-  // 8 contexts x ~36 significant bits do not fit a packed 64-bit key, so we
+  // kMaxContexts x ~36 significant bits do not fit a packed 64-bit key, so we
   // mix instead; collisions are ~2^-64 per pair of configurations.
   std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL;
   for (const auto& slot : contexts) {

@@ -22,7 +22,7 @@
 
 namespace smtbal::smt {
 
-inline constexpr std::uint32_t kMaxContexts = 8;
+inline constexpr std::uint32_t kMaxContexts = 16;
 
 /// What one hardware context is running.
 struct ContextLoad {

@@ -41,6 +41,10 @@ struct RankStats {
 
 class Tracer {
  public:
+  /// An empty trace (no ranks): the vacant state RunResult default-
+  /// constructs with before a run's tracer is moved in.
+  Tracer() = default;
+
   explicit Tracer(std::size_t num_ranks);
 
   /// Appends an interval to `rank`'s timeline. Intervals must be recorded

@@ -155,11 +155,19 @@ TEST(Report, JsonRecordHasStableShape) {
   specs.push_back(make_spec("shape", 1e7));
   const BatchResult batch = BatchRunner({.jobs = 1}).run(specs);
   const std::string record = to_json_record(batch.runs[0]);
-  EXPECT_NE(record.find("\"schema\":\"smtbal.bench.run/1\""), std::string::npos);
+  EXPECT_NE(record.find("\"schema\":\"smtbal.bench.run/2\""), std::string::npos);
   EXPECT_NE(record.find("\"label\":\"shape\""), std::string::npos);
   EXPECT_NE(record.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(record.find("\"exec_time\":"), std::string::npos);
   EXPECT_NE(record.find("\"ranks\":["), std::string::npos);
+  // Schema v2: the engine's MetricsObserver rides along with every record.
+  EXPECT_NE(record.find("\"events_by_kind\":{"), std::string::npos);
+  EXPECT_NE(record.find("\"compute-done\":"), std::string::npos);
+  EXPECT_NE(record.find("\"compute_s\":"), std::string::npos);
+  EXPECT_NE(record.find("\"wait_s\":"), std::string::npos);
+  EXPECT_NE(record.find("\"spin_s\":"), std::string::npos);
+  EXPECT_NE(record.find("\"priority_changes\":"), std::string::npos);
+  EXPECT_NE(record.find("\"compute_interval_hist\":["), std::string::npos);
   EXPECT_EQ(record.find('\n'), std::string::npos) << "records must be one line";
 }
 
