@@ -1,0 +1,69 @@
+// SMT4 extrapolation bench: priority balancing on a 2-core x 4-context
+// chip (no paper counterpart — the POWER5 is 2-way; this exercises the
+// generalized weighted decode arbiter end-to-end, see DESIGN.md §8).
+//
+// The workload is an 8-rank MetBench with one heavy worker per core
+// (P2, P6) carrying 4x the light workers' load. Case A is the imbalanced
+// all-MEDIUM reference; B and C favor the heavy workers with priority
+// gaps of 1 and 2; D widens the gap to 3 by also starving the light
+// workers — the Case D overshoot probe at four contexts.
+//
+//   $ ./bench_smt4 [--jobs N] [--json FILE]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workloads/metbench.hpp"
+
+using namespace smtbal;
+
+namespace {
+
+mpisim::EngineConfig smt4_config() {
+  mpisim::EngineConfig config;
+  config.chip.core.threads_per_core = 4;
+  return config;
+}
+
+workloads::MetBenchConfig smt4_workload() {
+  workloads::MetBenchConfig config;
+  config.num_ranks = 8;
+  // One heavy worker per core: P2 on core 1, P6 on core 2.
+  config.heavy = {false, true, false, false, false, true, false, false};
+  config.light_fraction = 0.25;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const auto cli = runner::parse_cli(argc, argv);
+  bench::print_header(
+      "SMT4 extrapolation — MetBench on a 2-core x 4-context chip");
+
+  const auto app = workloads::build_metbench(smt4_workload());
+  const auto cases = workloads::smt4_cases();
+
+  std::vector<runner::RunSpec> specs;
+  std::vector<bench::SpecMeta> meta;
+  for (const workloads::PaperCase& c : cases) {
+    specs.push_back(bench::paper_case_spec(app, c, smt4_config()));
+    meta.push_back(bench::SpecMeta{c.cores(), c.priorities});
+  }
+  const auto outcomes = bench::run_case_specs(std::move(specs), meta, cli);
+
+  bench::print_characterization(outcomes);
+  bench::print_gantts(outcomes);
+
+  std::cout << '\n';
+  for (std::size_t c = 1; c < outcomes.size(); ++c) {
+    std::cout << trace::summary_line(outcomes[c].report, outcomes[0].report)
+              << '\n';
+  }
+  std::cout << "\nShape checks: favoring the heavy workers (B, C) cuts the\n"
+               "all-MEDIUM imbalance and execution time; the weighted N-way\n"
+               "slice keeps the three light core-mates at equal shares.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

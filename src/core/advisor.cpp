@@ -21,14 +21,17 @@ std::vector<AdvisorCandidate> PriorityAdvisor::search(
   config.validate();
   const std::size_t n = app.size();
 
+  const std::uint32_t slots_per_core =
+      balancer_.config().chip.threads_per_core();
   std::vector<mpisim::Placement> placements;
   if (config.placements.empty()) {
-    placements.push_back(mpisim::Placement::identity(n));
+    placements.push_back(mpisim::Placement::identity(n, slots_per_core));
   } else {
     for (const auto& linear : config.placements) {
       SMTBAL_REQUIRE(linear.size() == n,
                      "placement size must match rank count");
-      placements.push_back(mpisim::Placement::from_linear(linear));
+      placements.push_back(
+          mpisim::Placement::from_linear(linear, slots_per_core));
     }
   }
 
@@ -67,12 +70,13 @@ std::vector<AdvisorCandidate> PriorityAdvisor::search(
   return results;
 }
 
-std::string describe(const AdvisorCandidate& candidate) {
+std::string describe(const AdvisorCandidate& candidate,
+                     std::uint32_t slots_per_core) {
   std::ostringstream os;
   os << "cpus[";
   for (std::size_t r = 0; r < candidate.placement.cpu_of_rank.size(); ++r) {
     if (r != 0) os << ',';
-    os << candidate.placement.cpu_of_rank[r].linear(smt::kThreadsPerCore);
+    os << candidate.placement.cpu_of_rank[r].linear(slots_per_core);
   }
   os << "] prio[";
   for (std::size_t r = 0; r < candidate.priorities.size(); ++r) {

@@ -49,7 +49,11 @@ class PriorityAdvisor {
   Balancer& balancer_;
 };
 
-/// Formats a candidate like "cpus[0,2,3,1] prio[4,4,6,6]".
-[[nodiscard]] std::string describe(const AdvisorCandidate& candidate);
+/// Formats a candidate like "cpus[0,2,3,1] prio[4,4,6,6]". The linear CPU
+/// numbering depends on the chip shape; `slots_per_core` defaults to the
+/// paper's 2-way cores.
+[[nodiscard]] std::string describe(
+    const AdvisorCandidate& candidate,
+    std::uint32_t slots_per_core = smt::kThreadsPerCore);
 
 }  // namespace smtbal::core

@@ -27,6 +27,7 @@ DynamicBalancer::DynamicBalancer(DynamicBalancerConfig config)
 void DynamicBalancer::on_start(mpisim::EngineControl& control) {
   smoothed_wait_.assign(control.num_ranks(), 0.0);
   gap_of_core_.clear();
+  wide_state_.clear();
   last_epoch_time_ = 0.0;
   for (std::size_t r = 0; r < control.num_ranks(); ++r) {
     control.set_rank_priority(RankId{static_cast<std::uint32_t>(r)},
@@ -74,7 +75,8 @@ void DynamicBalancer::on_epoch(mpisim::EngineControl& control,
   }
   if (report.epoch <= config_.warmup_epochs) return;
 
-  // Group ranks per core; only full pairs are balanced.
+  // Group ranks per core; pairs use the paper's signed-gap controller,
+  // wider cores (SMT4/SMT8) the favored-rank controller.
   std::map<std::uint32_t, std::vector<std::size_t>> ranks_by_core;
   const mpisim::Placement& placement = control.placement();
   for (std::size_t r = 0; r < report.ranks.size(); ++r) {
@@ -82,6 +84,10 @@ void DynamicBalancer::on_epoch(mpisim::EngineControl& control,
   }
 
   for (const auto& [core, ranks] : ranks_by_core) {
+    if (ranks.size() > 2) {
+      balance_wide(control, core, ranks);
+      continue;
+    }
     if (ranks.size() != 2) continue;
     const std::size_t a = ranks[0];
     const std::size_t b = ranks[1];
@@ -102,6 +108,58 @@ void DynamicBalancer::on_epoch(mpisim::EngineControl& control,
       gap = std::min(gap + 1, config_.max_diff);
     }
     apply_gap(control, a, b, gap);
+  }
+}
+
+void DynamicBalancer::balance_wide(mpisim::EngineControl& control,
+                                   std::uint32_t core,
+                                   const std::vector<std::size_t>& ranks) {
+  // A context reading priority 0 hosts no process any more: once any
+  // core-mate exits, stop steering the survivors (same rule as pairs).
+  for (const std::size_t r : ranks) {
+    if (control.rank_priority(RankId{static_cast<std::uint32_t>(r)}) == 0) {
+      return;
+    }
+  }
+
+  // The rank that waits least is the core's bottleneck; the spread between
+  // the least- and most-waiting ranks is the imbalance signal.
+  std::size_t bottleneck = ranks[0];
+  double min_wait = smoothed_wait_[ranks[0]];
+  double max_wait = min_wait;
+  for (const std::size_t r : ranks) {
+    if (smoothed_wait_[r] < min_wait) {
+      min_wait = smoothed_wait_[r];
+      bottleneck = r;
+    }
+    max_wait = std::max(max_wait, smoothed_wait_[r]);
+  }
+
+  WideCoreState& state = wide_state_[core];
+  if (max_wait - min_wait > config_.wait_gap_threshold) {
+    if (state.favored != bottleneck) {
+      // New bottleneck: restart from the smallest gap (Case D lesson —
+      // widen only after observing the result).
+      state.favored = bottleneck;
+      state.gap = 1;
+    } else {
+      state.gap = std::min(state.gap + 1, config_.max_diff);
+    }
+  } else {
+    state.gap = std::max(state.gap - 1, 0);
+  }
+
+  for (const std::size_t r : ranks) {
+    int prio = smt::level(smt::kDefaultPriority);
+    if (state.gap > 0) {
+      prio = r == state.favored ? config_.high_priority
+                                : config_.high_priority - state.gap;
+    }
+    const RankId id{static_cast<std::uint32_t>(r)};
+    if (control.rank_priority(id) != prio) {
+      control.set_rank_priority(id, prio);
+      ++adjustments_;
+    }
   }
 }
 

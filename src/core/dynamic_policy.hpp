@@ -58,12 +58,23 @@ class DynamicBalancer final : public mpisim::BalancePolicy {
  private:
   void apply_gap(mpisim::EngineControl& control, std::size_t first,
                  std::size_t second, int gap);
+  void balance_wide(mpisim::EngineControl& control, std::uint32_t core,
+                    const std::vector<std::size_t>& ranks);
+
+  /// N>2 contexts per core: the single favored (bottleneck) rank holds
+  /// `high_priority` and everyone else `high_priority - gap`.
+  struct WideCoreState {
+    std::size_t favored = static_cast<std::size_t>(-1);
+    int gap = 0;
+  };
 
   DynamicBalancerConfig config_;
   std::vector<double> smoothed_wait_;  ///< wait fraction per rank
-  /// Current signed gap per core: >0 favours the lower-numbered rank of
-  /// the pair, <0 the higher-numbered one.
+  /// Current signed gap per 2-way core: >0 favours the lower-numbered rank
+  /// of the pair, <0 the higher-numbered one.
   std::map<std::uint32_t, int> gap_of_core_;
+  /// State per core with more than two ranks (SMT4/SMT8 chips).
+  std::map<std::uint32_t, WideCoreState> wide_state_;
   SimTime last_epoch_time_ = 0.0;
   std::uint64_t adjustments_ = 0;
 };

@@ -59,7 +59,7 @@ class Sim final : public CollectiveClient {
     }
     if (config_.noise_horizon > 0.0) {
       noise_ = os::NoiseSource(config_.noise, config_.noise_horizon, contexts,
-                               smt::kThreadsPerCore);
+                               config_.chip.threads_per_core());
     }
   }
 
@@ -76,7 +76,7 @@ class Sim final : public CollectiveClient {
 
  private:
   [[nodiscard]] std::uint32_t linear_of(std::size_t rank) const {
-    return placement_.cpu_of_rank[rank].linear(smt::kThreadsPerCore);
+    return placement_.cpu_of_rank[rank].linear(config_.chip.threads_per_core());
   }
   [[nodiscard]] bool preempted(std::size_t rank) const {
     return preempt_until_[linear_of(rank)] > now_ + kTimeEps;
@@ -367,14 +367,14 @@ class Sim final : public CollectiveClient {
     if (noise_.exhausted()) return;
     const os::NoiseEvent& event = noise_.peek();
     queue_.push(event.start, EventKind::kNoisePreempt,
-                event.cpu.linear(smt::kThreadsPerCore));
+                event.cpu.linear(config_.chip.threads_per_core()));
   }
 
   void on_noise_preempt() {
     const os::NoiseEvent event = noise_.next();
     schedule_next_noise();
     kernel_.on_interrupt(event.cpu);
-    const std::uint32_t lin = event.cpu.linear(smt::kThreadsPerCore);
+    const std::uint32_t lin = event.cpu.linear(config_.chip.threads_per_core());
     if (lin >= preempt_until_.size()) return;
     const bool was_preempted = preempt_until_[lin] > now_ + kTimeEps;
     preempt_until_[lin] = std::max(preempt_until_[lin], event.end());
@@ -625,7 +625,7 @@ Engine::Engine(Application app, Placement placement, EngineConfig config,
   SMTBAL_REQUIRE(placement_.cpu_of_rank.size() == app_.size(),
                  "placement size must match rank count");
   for (const CpuId& cpu : placement_.cpu_of_rank) {
-    SMTBAL_REQUIRE(cpu.linear(smt::kThreadsPerCore) <
+    SMTBAL_REQUIRE(cpu.linear(config_.chip.threads_per_core()) <
                        config_.chip.num_contexts(),
                    "placement assigns a rank to a CPU beyond "
                    "chip.num_contexts()");

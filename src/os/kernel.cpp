@@ -19,7 +19,7 @@ KernelModel::KernelModel(KernelFlavor flavor, const smt::ChipConfig& chip)
       cpu_process_(chip.num_contexts()) {}
 
 std::size_t KernelModel::index(CpuId cpu) const {
-  const std::uint32_t linear = cpu.linear(smt::kThreadsPerCore);
+  const std::uint32_t linear = cpu.linear(chip_.threads_per_core());
   SMTBAL_REQUIRE(linear < cpu_priority_.size(), "CPU out of range");
   return linear;
 }

@@ -165,6 +165,15 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
     batch.cache_stats.misses += stats.misses;
     batch.cache_stats.inserts += stats.inserts;
   }
+  for (const auto& worker_samplers : samplers) {
+    for (const auto& sampler : worker_samplers) {
+      if (sampler == nullptr) continue;
+      const smt::SamplerStats& stats = sampler->stats();
+      batch.sampler_stats.lookups += stats.lookups;
+      batch.sampler_stats.misses += stats.misses;
+      batch.sampler_stats.shared_hits += stats.shared_hits;
+    }
+  }
   return batch;
 }
 

@@ -96,10 +96,27 @@ std::string to_json_record(const RunOutcome& outcome) {
   return os.str();
 }
 
+std::string to_json_batch_record(const BatchResult& batch) {
+  std::ostringstream os;
+  const smt::SamplerStats& sampler = batch.sampler_stats;
+  const smt::SampleCacheStats& cache = batch.cache_stats;
+  os << "{\"schema\":\"smtbal.bench.batch/1\",\"jobs\":" << batch.jobs
+     << ",\"runs\":" << batch.runs.size()
+     << ",\"failures\":" << batch.failures
+     << ",\"sampler\":{\"lookups\":" << sampler.lookups
+     << ",\"misses\":" << sampler.misses
+     << ",\"shared_hits\":" << sampler.shared_hits
+     << "},\"sample_cache\":{\"hits\":" << cache.hits
+     << ",\"misses\":" << cache.misses << ",\"inserts\":" << cache.inserts
+     << ",\"hit_rate\":" << json_num(cache.hit_rate()) << "}}";
+  return os.str();
+}
+
 void write_jsonl(const BatchResult& batch, std::ostream& os) {
   for (const RunOutcome& outcome : batch.runs) {
     os << to_json_record(outcome) << '\n';
   }
+  os << to_json_batch_record(batch) << '\n';
 }
 
 void write_jsonl_file(const BatchResult& batch, const std::string& path) {

@@ -1,11 +1,14 @@
 // Deterministic JSON result records for batch runs.
 //
-// One run serialises to one single-line JSON object (JSONL), so a batch
-// file diffs line-by-line against another worker count. The records are
-// byte-identical for any --jobs value: field order is fixed, doubles are
-// printed with round-trip precision, and scheduling-dependent data (wall
-// time, sampler hit counters) is deliberately excluded — the shared-cache
-// hit rate is reported separately by describe(), outside the records.
+// One run serialises to one single-line JSON object (JSONL). The per-run
+// records are byte-identical for any --jobs value: field order is fixed,
+// doubles are printed with round-trip precision, and scheduling-dependent
+// data (wall time, sampler hit counters) is deliberately excluded from
+// them. Sampler/cache efficiency is surfaced instead by a single trailing
+// batch-summary record (schema smtbal.bench.batch/1) — the one
+// scheduling-dependent line in the file. To diff two JSONL files produced
+// with different worker counts, drop that trailer first (e.g.
+// `grep -v '"schema":"smtbal.bench.batch/1"'`).
 #pragma once
 
 #include <ostream>
@@ -19,8 +22,15 @@ namespace smtbal::runner {
 /// newline). Deterministic: identical for any worker count.
 [[nodiscard]] std::string to_json_record(const RunOutcome& outcome);
 
+/// Serialises the batch summary (schema smtbal.bench.batch/1): jobs,
+/// run/failure counts and the aggregate SamplerStats / SampleCacheStats
+/// (lookups, misses, shared hits, hit rate). Scheduling-dependent —
+/// observe cache behaviour across --jobs values with it, never diff it.
+[[nodiscard]] std::string to_json_batch_record(const BatchResult& batch);
+
 /// Writes one record per line, spec order (the BENCH_*.json convention:
-/// one JSONL file per bench binary).
+/// one JSONL file per bench binary), then the batch-summary record as the
+/// final line.
 void write_jsonl(const BatchResult& batch, std::ostream& os);
 
 /// write_jsonl to `path`, creating/truncating the file. Throws

@@ -15,8 +15,8 @@ void ChipConfig::validate() const {
 
 CpuId ChipConfig::cpu(std::uint32_t linear) const {
   SMTBAL_REQUIRE(linear < num_contexts(), "linear CPU number out of range");
-  return CpuId{CoreId{linear / kThreadsPerCore},
-               ThreadSlot{linear % kThreadsPerCore}};
+  return CpuId{CoreId{linear / core.threads_per_core},
+               ThreadSlot{linear % core.threads_per_core}};
 }
 
 Chip::Chip(ChipConfig config) : config_(std::move(config)) {

@@ -1,4 +1,5 @@
-// The full POWER5-like chip: two SMT cores over a shared L2/L3 hierarchy.
+// The full POWER5-like chip: N-way SMT cores over a shared L2/L3 hierarchy
+// (two 2-way cores by default, matching the paper).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +22,11 @@ struct ChipConfig {
   void validate() const;
   [[nodiscard]] bool operator==(const ChipConfig&) const = default;
 
+  [[nodiscard]] std::uint32_t threads_per_core() const {
+    return core.threads_per_core;
+  }
   [[nodiscard]] std::uint32_t num_contexts() const {
-    return num_cores * kThreadsPerCore;
+    return num_cores * core.threads_per_core;
   }
   [[nodiscard]] double frequency_hz() const { return frequency_ghz * 1e9; }
 

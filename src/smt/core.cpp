@@ -7,6 +7,8 @@
 namespace smtbal::smt {
 
 void CoreConfig::validate() const {
+  SMTBAL_REQUIRE(threads_per_core >= 1 && threads_per_core <= 64,
+                 "threads_per_core must be in 1..64");
   SMTBAL_REQUIRE(decode_width > 0, "decode_width must be positive");
   SMTBAL_REQUIRE(issue_width > 0, "issue_width must be positive");
   SMTBAL_REQUIRE(gct_entries >= decode_width,
@@ -23,14 +25,19 @@ Core::Core(const CoreConfig& config, mem::Hierarchy& hierarchy,
     : config_(config),
       hierarchy_(hierarchy),
       core_index_(core_index),
-      arbiter_(kDefaultPriority, kDefaultPriority, config.work_conserving_decode) {
+      arbiter_(std::vector<HwPriority>(config.threads_per_core,
+                                       kDefaultPriority),
+               config.work_conserving_decode),
+      threads_(config.threads_per_core),
+      signals_(config.threads_per_core),
+      issue_cursor_(config.threads_per_core, 0) {
   config_.validate();
   SMTBAL_REQUIRE(core_index < hierarchy.config().num_cores,
                  "core index outside the hierarchy");
 }
 
 void Core::bind_stream(ThreadSlot slot, isa::StreamGen* stream) {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   ThreadState& thread = threads_[slot.value()];
   thread.stream = stream;
   // A context switch discards the old context's in-flight work.
@@ -49,28 +56,28 @@ void Core::bind_stream(ThreadSlot slot, isa::StreamGen* stream) {
 }
 
 void Core::set_priority(ThreadSlot slot, HwPriority priority) {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   threads_[slot.value()].priority = priority;
-  arbiter_.set_priorities(threads_[0].priority, threads_[1].priority);
+  arbiter_.set_priority(slot.value(), priority);
 }
 
 HwPriority Core::priority(ThreadSlot slot) const {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   return threads_[slot.value()].priority;
 }
 
 bool Core::decode_ready(ThreadSlot slot) const {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   return can_decode(threads_[slot.value()]);
 }
 
 std::uint64_t Core::next_seq(ThreadSlot slot) const {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   return threads_[slot.value()].next_seq;
 }
 
 const ThreadPerf& Core::perf(ThreadSlot slot) const {
-  SMTBAL_REQUIRE(slot.value() < kThreadsPerCore, "bad thread slot");
+  SMTBAL_REQUIRE(slot.value() < threads_.size(), "bad thread slot");
   return threads_[slot.value()].perf;
 }
 
@@ -183,31 +190,34 @@ void Core::issue() {
   std::uint32_t bru = config_.bru_units;
   std::uint32_t budget = config_.issue_width;
 
-  // Oldest-first across both contexts: walk the two windows in decode order,
-  // merging by decode cycle (ties broken by alternating start thread so
-  // neither context gets a structural advantage).
-  std::array<std::size_t, kThreadsPerCore> cursor{0, 0};
-  const std::size_t first = static_cast<std::size_t>(now_ % kThreadsPerCore);
+  // Oldest-first across all contexts: walk the windows in decode order,
+  // merging by decode cycle (ties broken by rotating the start thread so
+  // no context gets a structural advantage).
+  const std::size_t num = threads_.size();
+  std::fill(issue_cursor_.begin(), issue_cursor_.end(), 0);
+  const std::size_t first = static_cast<std::size_t>(now_ % num);
 
   while (budget > 0) {
     int pick = -1;
     Cycle best = ~Cycle{0};
-    for (std::size_t i = 0; i < kThreadsPerCore; ++i) {
-      const std::size_t t = (first + i) % kThreadsPerCore;
+    for (std::size_t i = 0; i < num; ++i) {
+      const std::size_t t = (first + i) % num;
       const auto& window = threads_[t].window;
       // Skip ops that are already issued.
-      while (cursor[t] < window.size() && window[cursor[t]].issued) ++cursor[t];
-      if (cursor[t] >= window.size()) continue;
-      if (window[cursor[t]].decode_cycle < best) {
-        best = window[cursor[t]].decode_cycle;
+      while (issue_cursor_[t] < window.size() && window[issue_cursor_[t]].issued) {
+        ++issue_cursor_[t];
+      }
+      if (issue_cursor_[t] >= window.size()) continue;
+      if (window[issue_cursor_[t]].decode_cycle < best) {
+        best = window[issue_cursor_[t]].decode_cycle;
         pick = static_cast<int>(t);
       }
     }
     if (pick < 0) break;
 
     ThreadState& thread = threads_[static_cast<std::size_t>(pick)];
-    InFlight& entry = thread.window[cursor[static_cast<std::size_t>(pick)]];
-    ++cursor[static_cast<std::size_t>(pick)];
+    InFlight& entry = thread.window[issue_cursor_[static_cast<std::size_t>(pick)]];
+    ++issue_cursor_[static_cast<std::size_t>(pick)];
 
     if (!dep_satisfied(thread, entry)) continue;
 
@@ -248,22 +258,17 @@ void Core::step() {
     thread.fetch_empty = gap > 0.0 && thread.front_end_rng.chance(gap);
   }
 
-  ThreadSignals sig_a{can_decode(threads_[0]), has_instructions(threads_[0])};
-  ThreadSignals sig_b{can_decode(threads_[1]), has_instructions(threads_[1])};
-  if (sig_a.wants) ++threads_[0].perf.decode_cycles_wanted;
-  if (sig_b.wants) ++threads_[1].perf.decode_cycles_wanted;
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    signals_[t] = ThreadSignals{can_decode(threads_[t]),
+                                has_instructions(threads_[t])};
+    if (signals_[t].wants) ++threads_[t].perf.decode_cycles_wanted;
+  }
 
-  switch (arbiter_.grant(now_, sig_a, sig_b)) {
-    case DecodeGrant::kThreadA:
-      decode_thread(threads_[0]);
-      ++threads_[0].perf.decode_cycles_granted;
-      break;
-    case DecodeGrant::kThreadB:
-      decode_thread(threads_[1]);
-      ++threads_[1].perf.decode_cycles_granted;
-      break;
-    case DecodeGrant::kNone:
-      break;
+  const int granted = arbiter_.grant(now_, signals_);
+  if (granted >= 0) {
+    ThreadState& thread = threads_[static_cast<std::size_t>(granted)];
+    decode_thread(thread);
+    ++thread.perf.decode_cycles_granted;
   }
 
   issue();

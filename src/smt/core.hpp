@@ -1,4 +1,4 @@
-// Cycle-level model of one POWER5-like 2-way SMT core.
+// Cycle-level model of one POWER5-like N-way SMT core.
 //
 // Pipeline model (per cycle):
 //   1. Decode arbitration — the DecodeArbiter picks which context owns this
@@ -6,7 +6,7 @@
 //      (paper Tables II/III). The granted context decodes up to
 //      `decode_width` micro-ops into the shared instruction window, bounded
 //      by the shared GCT occupancy and a per-thread in-flight cap.
-//   2. Issue — up to `issue_width` ready ops issue oldest-first across both
+//   2. Issue — up to `issue_width` ready ops issue oldest-first across all
 //      contexts, bounded by per-class execution-unit counts. Loads/stores
 //      access the memory hierarchy; their latency is the access latency.
 //   3. Retire — each context retires completed ops in program order,
@@ -18,12 +18,15 @@
 // super-linear in the priority difference (decode cap ~ width/R plus
 // shared-window hogging by the favored thread) — the paper's Case D
 // "exponential penalty" observation.
+//
+// The number of contexts per core is a CoreConfig parameter; the default
+// of 2 reproduces the paper's POWER5 exactly (see DESIGN.md §8).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -33,9 +36,14 @@
 
 namespace smtbal::smt {
 
+/// The POWER5's context count — the backward-compat default for
+/// CoreConfig::threads_per_core, not a capacity limit.
 inline constexpr std::uint32_t kThreadsPerCore = 2;
 
 struct CoreConfig {
+  /// SMT contexts per core. 2 is the paper's POWER5; 4/8 model SMT4/SMT8
+  /// successors through the generalized weighted decode arbiter.
+  std::uint32_t threads_per_core = kThreadsPerCore;
   std::uint32_t decode_width = 5;
   std::uint32_t issue_width = 8;
   /// Shared global completion table: total in-flight ops across contexts.
@@ -53,13 +61,15 @@ struct CoreConfig {
   std::uint32_t mispredict_penalty = 12;
   /// POWER5 dispatches instructions in *groups* of up to decode_width ops;
   /// group formation breaks at branches (a branch must be the last slot)
-  /// and, with this probability, after any op (cracked/microcoded ops,
-  /// read-after-write pairing limits). The granted thread dispatches ONE
-  /// group per decode cycle, so the effective per-cycle decode bandwidth
-  /// is the mean group size (~2-3), not the raw width. This is what makes
-  /// a starved thread's 1-in-R cycles so expensive on the real machine.
+  /// and, with this probability in [0,1), after any op (cracked/microcoded
+  /// ops, read-after-write pairing limits). The granted thread dispatches
+  /// ONE group per decode cycle, so the effective per-cycle decode
+  /// bandwidth is the mean group size (~2-3), not the raw width. This is
+  /// what makes a starved thread's 1-in-R cycles so expensive on the real
+  /// machine. Exactly 1.0 is rejected: every group would break after its
+  /// first op, which is a degenerate front end rather than a model.
   double group_break_prob = 0.30;
-  /// Offer unused decode slots to the other thread (ablation only; the
+  /// Offer unused decode slots to the other threads (ablation only; the
   /// real POWER5 slicing is strict).
   bool work_conserving_decode = false;
 
@@ -102,6 +112,9 @@ class Core {
   void run(Cycle cycles);
 
   [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] std::uint32_t num_threads() const {
+    return config_.threads_per_core;
+  }
   [[nodiscard]] const ThreadPerf& perf(ThreadSlot slot) const;
   void reset_perf();
 
@@ -158,9 +171,12 @@ class Core {
   mem::Hierarchy& hierarchy_;
   std::uint32_t core_index_;
   DecodeArbiter arbiter_;
-  std::array<ThreadState, kThreadsPerCore> threads_;
+  std::vector<ThreadState> threads_;
   std::uint32_t gct_used_ = 0;
   Cycle now_ = 0;
+  /// Per-cycle scratch (sized num_threads once; step() is the hot path).
+  std::vector<ThreadSignals> signals_;
+  std::vector<std::size_t> issue_cursor_;
 };
 
 }  // namespace smtbal::smt

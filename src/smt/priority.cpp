@@ -1,5 +1,7 @@
 #include "smt/priority.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -71,156 +73,187 @@ HwPriority priority_from_int(int value) {
   return static_cast<HwPriority>(value);
 }
 
-DecodeShare decode_share(HwPriority pa, HwPriority pb) {
-  const int a = level(pa);
-  const int b = level(pb);
-  DecodeShare share;
+DecodeSchedule decode_schedule(std::span<const HwPriority> priorities) {
+  const std::size_t n = priorities.size();
+  SMTBAL_REQUIRE(n >= 1 && n <= 64, "decode schedule needs 1..64 contexts");
 
-  if (a > 1 && b > 1) {
-    // Table II: slices of R = 2^(|X-Y|+1) cycles; 1 cycle for the lower
-    // priority thread, R-1 for the higher one.
-    const int diff = a > b ? a - b : b - a;
-    share.slice_cycles = 1u << (diff + 1);
-    if (a == b) {
-      share.slots_a = 1;
-      share.slots_b = 1;
-    } else if (a > b) {
-      share.slots_a = share.slice_cycles - 1;
-      share.slots_b = 1;
-    } else {
-      share.slots_a = 1;
-      share.slots_b = share.slice_cycles - 1;
+  DecodeSchedule schedule;
+  schedule.slots.assign(n, 0);
+  schedule.runs.assign(n, 0);
+  schedule.leftover_only.assign(n, 0);
+
+  std::vector<std::size_t> active;    // priority > 1: owns decode cycles
+  std::vector<std::size_t> very_low;  // priority 1: Table III leftover rule
+  for (std::size_t i = 0; i < n; ++i) {
+    const int l = level(priorities[i]);
+    if (l > 0) schedule.runs[i] = 1;
+    if (l > 1) {
+      active.push_back(i);
+    } else if (l == 1) {
+      very_low.push_back(i);
     }
-    return share;
   }
 
-  // Table III special cases.
-  if (a == 1 && b > 1) {
-    share.slice_cycles = 1;
-    share.slots_a = 0;
-    share.slots_b = 1;
-    share.a_leftover_only = true;  // "ThreadA takes what is left over"
-    return share;
+  if (!active.empty()) {
+    // Weighted Table II slicing. With p_min the lowest active priority,
+    // context i owns w_i = 2^(p_i - p_min + 1) - 1 cycles of a slice of
+    // sum(w_i) cycles, laid out as contiguous runs in ascending
+    // (priority, slot) order. At N = 2 this is exactly Table II: the slice
+    // is 1 + (2^(diff+1) - 1) = R = 2^(|X-Y|+1) cycles, the low-priority
+    // thread owns cycle 0 and the high-priority thread the rest.
+    int p_min = 8;
+    for (const std::size_t i : active) {
+      p_min = std::min(p_min, level(priorities[i]));
+    }
+    std::stable_sort(active.begin(), active.end(),
+                     [&](std::size_t lhs, std::size_t rhs) {
+                       return level(priorities[lhs]) < level(priorities[rhs]);
+                     });
+    std::uint32_t slice = 0;
+    for (const std::size_t i : active) {
+      slice += (1u << (level(priorities[i]) - p_min + 1)) - 1;
+    }
+    schedule.slice_cycles = slice;
+    schedule.owner_of_pos.assign(slice, -1);
+    std::uint32_t pos = 0;
+    for (const std::size_t i : active) {
+      const std::uint32_t weight =
+          (1u << (level(priorities[i]) - p_min + 1)) - 1;
+      schedule.slots[i] = weight;
+      for (std::uint32_t k = 0; k < weight; ++k) {
+        schedule.owner_of_pos[pos++] = static_cast<std::int32_t>(i);
+      }
+    }
+    // VERY-LOW contexts own nothing and decode only in cycles the owners
+    // leave unused ("takes what is left over", Table III).
+    for (const std::size_t i : very_low) schedule.leftover_only[i] = 1;
+    return schedule;
   }
-  if (b == 1 && a > 1) {
-    share.slice_cycles = 1;
-    share.slots_a = 1;
-    share.slots_b = 0;
-    share.b_leftover_only = true;
-    return share;
+
+  if (!very_low.empty()) {
+    // Power-save mode (Table III): every running context is VERY-LOW.
+    if (very_low.size() == 1) {
+      // Table III (0,1): the lone running thread gets 1 of 32 cycles.
+      schedule.slice_cycles = 32;
+      schedule.owner_of_pos.assign(32, -1);
+      schedule.owner_of_pos[0] = static_cast<std::int32_t>(very_low[0]);
+      schedule.slots[very_low[0]] = 1;
+    } else {
+      // Table III (1,1) generalized: 1 of 64 cycles each, spread evenly
+      // through the slice (positions 0 and 32 at N = 2).
+      schedule.slice_cycles = 64;
+      schedule.owner_of_pos.assign(64, -1);
+      const std::uint32_t stride =
+          64u / static_cast<std::uint32_t>(very_low.size());
+      for (std::size_t j = 0; j < very_low.size(); ++j) {
+        schedule.owner_of_pos[j * stride] =
+            static_cast<std::int32_t>(very_low[j]);
+        schedule.slots[very_low[j]] = 1;
+      }
+    }
+    return schedule;
   }
-  if (a == 1 && b == 1) {
-    // Power save mode: both threads receive 1 of 64 decode cycles.
-    share.slice_cycles = 64;
-    share.slots_a = 1;
-    share.slots_b = 1;
-    return share;
-  }
-  if (a == 0 && b > 1) {
-    // ST mode: thread B receives all the resources.
-    share.slice_cycles = 1;
-    share.slots_a = 0;
-    share.slots_b = 1;
-    share.a_runs = false;
-    return share;
-  }
-  if (b == 0 && a > 1) {
-    share.slice_cycles = 1;
-    share.slots_a = 1;
-    share.slots_b = 0;
-    share.b_runs = false;
-    return share;
-  }
-  if (a == 0 && b == 1) {
-    // 1 of 32 cycles are given to thread B.
-    share.slice_cycles = 32;
-    share.slots_a = 0;
-    share.slots_b = 1;
-    share.a_runs = false;
-    return share;
-  }
-  if (b == 0 && a == 1) {
-    share.slice_cycles = 32;
-    share.slots_a = 1;
-    share.slots_b = 0;
-    share.b_runs = false;
-    return share;
-  }
-  // (0, 0): processor stopped.
-  share.slice_cycles = 1;
-  share.slots_a = 0;
-  share.slots_b = 0;
-  share.a_runs = false;
-  share.b_runs = false;
+
+  // All contexts off: processor stopped.
+  schedule.slice_cycles = 1;
+  schedule.owner_of_pos.assign(1, -1);
+  return schedule;
+}
+
+DecodeShare decode_share(HwPriority pa, HwPriority pb) {
+  const std::array<HwPriority, 2> pair{pa, pb};
+  const DecodeSchedule schedule = decode_schedule(pair);
+  DecodeShare share;
+  share.slice_cycles = schedule.slice_cycles;
+  share.slots_a = schedule.slots[0];
+  share.slots_b = schedule.slots[1];
+  share.a_runs = schedule.runs[0] != 0;
+  share.b_runs = schedule.runs[1] != 0;
+  share.a_leftover_only = schedule.leftover_only[0] != 0;
+  share.b_leftover_only = schedule.leftover_only[1] != 0;
   return share;
 }
 
-DecodeArbiter::DecodeArbiter(HwPriority a, HwPriority b, bool work_conserving)
-    : a_(a), b_(b), work_conserving_(work_conserving), share_(decode_share(a, b)) {}
-
-void DecodeArbiter::set_priorities(HwPriority a, HwPriority b) {
-  a_ = a;
-  b_ = b;
-  share_ = decode_share(a, b);
+DecodeArbiter::DecodeArbiter(std::vector<HwPriority> priorities,
+                             bool work_conserving)
+    : priorities_(std::move(priorities)), work_conserving_(work_conserving) {
+  rebuild();
 }
 
-DecodeGrant DecodeArbiter::slot_owner(Cycle cycle) const {
-  const int a = level(a_);
-  const int b = level(b_);
+DecodeArbiter::DecodeArbiter(HwPriority a, HwPriority b, bool work_conserving)
+    : DecodeArbiter(std::vector<HwPriority>{a, b}, work_conserving) {}
 
-  if (a > 1 && b > 1) {
-    const Cycle pos = cycle % share_.slice_cycles;
-    if (a == b) return pos == 0 ? DecodeGrant::kThreadA : DecodeGrant::kThreadB;
-    // Cycle 0 of each slice belongs to the lower-priority thread.
-    if (a < b) return pos == 0 ? DecodeGrant::kThreadA : DecodeGrant::kThreadB;
-    return pos == 0 ? DecodeGrant::kThreadB : DecodeGrant::kThreadA;
+void DecodeArbiter::set_priorities(std::vector<HwPriority> priorities) {
+  priorities_ = std::move(priorities);
+  rebuild();
+}
+
+void DecodeArbiter::set_priorities(HwPriority a, HwPriority b) {
+  set_priorities(std::vector<HwPriority>{a, b});
+}
+
+void DecodeArbiter::set_priority(std::size_t slot, HwPriority priority) {
+  SMTBAL_REQUIRE(slot < priorities_.size(), "bad arbiter slot");
+  priorities_[slot] = priority;
+  rebuild();
+}
+
+HwPriority DecodeArbiter::priority(std::size_t slot) const {
+  SMTBAL_REQUIRE(slot < priorities_.size(), "bad arbiter slot");
+  return priorities_[slot];
+}
+
+const DecodeShare& DecodeArbiter::share() const {
+  SMTBAL_REQUIRE(priorities_.size() == 2,
+                 "DecodeShare is the 2-context view; use schedule()");
+  return share_;
+}
+
+void DecodeArbiter::rebuild() {
+  schedule_ = decode_schedule(priorities_);
+  if (priorities_.size() == 2) {
+    share_ = decode_share(priorities_[0], priorities_[1]);
   }
-  if (a == 1 && b > 1) return DecodeGrant::kThreadB;
-  if (b == 1 && a > 1) return DecodeGrant::kThreadA;
-  if (a == 1 && b == 1) {
-    const Cycle pos = cycle % 64;
-    if (pos == 0) return DecodeGrant::kThreadA;
-    if (pos == 32) return DecodeGrant::kThreadB;
-    return DecodeGrant::kNone;
+  donation_order_.resize(priorities_.size());
+  for (std::size_t i = 0; i < priorities_.size(); ++i) donation_order_[i] = i;
+  std::stable_sort(donation_order_.begin(), donation_order_.end(),
+                   [this](std::size_t lhs, std::size_t rhs) {
+                     return level(priorities_[lhs]) > level(priorities_[rhs]);
+                   });
+}
+
+int DecodeArbiter::grant(Cycle cycle,
+                         std::span<const ThreadSignals> signals) const {
+  SMTBAL_REQUIRE(signals.size() == priorities_.size(),
+                 "one ThreadSignals per context");
+  const std::int32_t owner =
+      schedule_.owner_of_pos[cycle % schedule_.slice_cycles];
+  if (owner < 0) return -1;  // unowned power-save gap: never reassigned
+  if (signals[owner].wants) return owner;
+  // The slot is given away when (a) its owner is fetch-starved, (b) the
+  // taker runs under the Table III leftover rule (VERY-LOW), or (c)
+  // work-conserving mode is on (ablation). A resource-blocked owner
+  // otherwise keeps — and wastes — the slot. Candidates are considered
+  // highest priority first.
+  for (const std::size_t taker : donation_order_) {
+    if (static_cast<std::int32_t>(taker) == owner) continue;
+    if (!signals[taker].wants || schedule_.runs[taker] == 0) continue;
+    if (!signals[owner].has_instructions ||
+        schedule_.leftover_only[taker] != 0 || work_conserving_) {
+      return static_cast<int>(taker);
+    }
   }
-  if (a == 0 && b > 1) return DecodeGrant::kThreadB;
-  if (b == 0 && a > 1) return DecodeGrant::kThreadA;
-  if (a == 0 && b == 1) {
-    return cycle % 32 == 0 ? DecodeGrant::kThreadB : DecodeGrant::kNone;
-  }
-  if (b == 0 && a == 1) {
-    return cycle % 32 == 0 ? DecodeGrant::kThreadA : DecodeGrant::kNone;
-  }
-  return DecodeGrant::kNone;  // (0,0): stopped
+  return -1;
 }
 
 DecodeGrant DecodeArbiter::grant(Cycle cycle, ThreadSignals a,
                                  ThreadSignals b) const {
-  const DecodeGrant owner = slot_owner(cycle);
-
-  switch (owner) {
-    case DecodeGrant::kThreadA:
-      if (a.wants) return DecodeGrant::kThreadA;
-      // The slot is given away when (a) its owner is fetch-starved, (b) the
-      // taker runs under the Table III leftover rule (VERY-LOW partner), or
-      // (c) work-conserving mode is on (ablation). A resource-blocked owner
-      // otherwise keeps — and wastes — the slot.
-      if (b.wants && share_.b_runs &&
-          (!a.has_instructions || share_.b_leftover_only || work_conserving_)) {
-        return DecodeGrant::kThreadB;
-      }
-      return DecodeGrant::kNone;
-    case DecodeGrant::kThreadB:
-      if (b.wants) return DecodeGrant::kThreadB;
-      if (a.wants && share_.a_runs &&
-          (!b.has_instructions || share_.a_leftover_only || work_conserving_)) {
-        return DecodeGrant::kThreadA;
-      }
-      return DecodeGrant::kNone;
-    case DecodeGrant::kNone:
-      return DecodeGrant::kNone;
+  const std::array<ThreadSignals, 2> signals{a, b};
+  switch (grant(cycle, signals)) {
+    case 0: return DecodeGrant::kThreadA;
+    case 1: return DecodeGrant::kThreadB;
+    default: return DecodeGrant::kNone;
   }
-  return DecodeGrant::kNone;
 }
 
 }  // namespace smtbal::smt

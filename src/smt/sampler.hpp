@@ -40,8 +40,12 @@ struct ChipLoad {
 
   bool operator==(const ChipLoad&) const = default;
 
-  /// Packs the load into a 64-bit memoisation key.
-  /// Requires kernel ids < 2^12 and uses 4 bits per priority.
+  /// 64-bit memoisation key: a splitmix64-chained hash over the
+  /// per-context (kernel, priority) words (idle contexts hash as 0). The
+  /// full load does not fit a packed 64-bit key, so the key is a hash, not
+  /// an encoding: two distinct loads collide with probability ~2^-64 per
+  /// pair, in which case the memoised result of the first load would be
+  /// served for the second. No kernel-id range restriction applies.
   [[nodiscard]] std::uint64_t key() const;
 };
 

@@ -52,6 +52,19 @@ std::vector<PaperCase> siesta_cases() {
   };
 }
 
+std::vector<PaperCase> smt4_cases() {
+  // Pi -> CPUi on a 2-core x 4-context chip: P1-P4 on core 1, P5-P8 on
+  // core 2. The heavy workers are P2 and P6 (one per core).
+  const auto identity =
+      mpisim::Placement::identity(8, /*slots_per_core=*/4);
+  return {
+      {"A", identity, {4, 4, 4, 4, 4, 4, 4, 4}},
+      {"B", identity, {4, 5, 4, 4, 4, 5, 4, 4}},
+      {"C", identity, {4, 6, 4, 4, 4, 6, 4, 4}},
+      {"D", identity, {3, 6, 3, 3, 3, 6, 3, 3}},
+  };
+}
+
 std::vector<PaperCase> fig1_cases() {
   const auto identity = mpisim::Placement::identity(4);
   // The slow process P1 computes ~2.5x longer than its core-mate P2; one

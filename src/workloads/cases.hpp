@@ -40,4 +40,11 @@ struct PaperCase {
 /// P2 MEDIUM-LOW).
 [[nodiscard]] std::vector<PaperCase> fig1_cases();
 
+/// SMT4 extrapolation cases (beyond the paper): 8 ranks on a
+/// 2-core x 4-context chip, one heavy worker per core (P2, P6). A is the
+/// imbalanced all-MEDIUM reference; B/C favor the heavy workers with a
+/// growing priority gap; D additionally starves the light workers
+/// (the Case D overshoot probe at N=4).
+[[nodiscard]] std::vector<PaperCase> smt4_cases();
+
 }  // namespace smtbal::workloads
