@@ -1,0 +1,184 @@
+// Cluster bench: two-level (node x SMT-priority) balancing on a
+// node-skewed MetBench-style workload (no paper counterpart — the paper
+// balances inside one OpenPower 710 node; this extrapolates its priority
+// machinery to a multi-node cluster, see DESIGN.md §9).
+//
+// Two nodes run identical heavy/light rank pairs, but node 0 carries a
+// 1.6x load multiplier, so its ranks arrive last at every global
+// barrier. Three schemes:
+//
+//   all-MEDIUM   no policy: every rank at hardware priority 4;
+//   inner-only   one DynamicBalancer per node (outer level disabled) —
+//                fixes the within-node heavy/light imbalance only;
+//   two-level    the outer loop additionally widens the lagging node's
+//                priority-gap ceiling until it catches up.
+//
+//   $ ./bench_cluster [--smoke] [--json FILE]
+//
+// --smoke shrinks the workload for CI; --json writes one
+// smtbal.bench.run/3 record per scheme (per-rank records carry their
+// hosting node, plus a per-node aggregate array).
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "cluster/balancer.hpp"
+#include "cluster/engine.hpp"
+#include "cluster/workload.hpp"
+#include "runner/batch.hpp"
+#include "runner/report.hpp"
+#include "smt/sampler.hpp"
+
+using namespace smtbal;
+
+namespace {
+
+cluster::SkewedClusterConfig workload_config(bool smoke) {
+  cluster::SkewedClusterConfig config;
+  config.num_nodes = 2;
+  config.ranks_per_node = 4;
+  config.iterations = smoke ? 6 : 16;
+  config.base_instructions = smoke ? 1e9 : 2e9;
+  // Light enough that a priority gap of 2 on the lagging node still
+  // leaves the light ranks off the critical path (Case D headroom).
+  config.light_fraction = 0.1;
+  config.node_scale = {1.6};
+  config.stat_duration = 0.01;
+  return config;
+}
+
+cluster::ClusterConfig cluster_config() {
+  cluster::ClusterConfig config;
+  config.num_nodes = 2;
+  return config;
+}
+
+cluster::TwoLevelBalancerConfig balancer_config(int max_node_boost) {
+  cluster::TwoLevelBalancerConfig config;
+  config.inner.max_diff = 1;
+  config.max_node_boost = max_node_boost;
+  return config;
+}
+
+struct CaseResult {
+  std::string label;
+  cluster::ClusterRunResult result;
+  std::vector<int> final_boost;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const runner::CliOptions cli = runner::parse_cli(argc, argv);
+  bool smoke = false;
+  for (const std::string& arg : cli.positional) {
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 2;
+    }
+  }
+
+  std::cout << "Cluster balancing — node-skewed MetBench on 2 nodes "
+               "(node 0 carries 1.6x load)\n\n";
+
+  const cluster::SkewedClusterConfig workload = workload_config(smoke);
+  std::vector<CaseResult> cases;
+  // max_node_boost < 0 encodes "no policy at all" (the all-MEDIUM row).
+  const std::vector<std::pair<std::string, int>> schemes = {
+      {"all-MEDIUM", -1}, {"inner-only", 0}, {"two-level", 1}};
+
+  // One sampler across all schemes: identical chips, so the cycle-level
+  // memoisation carries over between cases.
+  const cluster::ClusterConfig cluster_cfg = cluster_config();
+  auto sampler = std::make_shared<smt::ThroughputSampler>(
+      cluster_cfg.node.chip, cluster_cfg.node.sampler);
+
+  for (const auto& [label, boost] : schemes) {
+    cluster::SkewedCluster skew = cluster::make_skewed_cluster(workload);
+    cluster::ClusterEngine engine(std::move(skew.app), skew.placement,
+                                  cluster_cfg, sampler);
+    std::optional<cluster::TwoLevelBalancer> policy;
+    if (boost >= 0) {
+      policy.emplace(skew.placement, balancer_config(boost));
+      engine.set_policy(&*policy);
+    }
+    CaseResult run;
+    run.label = label;
+    run.result = engine.run();
+    if (policy.has_value()) {
+      for (std::uint32_t n = 0; n < workload.num_nodes; ++n) {
+        run.final_boost.push_back(policy->node_boost(n));
+      }
+    }
+    cases.push_back(std::move(run));
+  }
+
+  std::cout << std::left << std::setw(12) << "scheme" << std::right
+            << std::setw(12) << "exec (s)" << std::setw(12) << "vs MEDIUM"
+            << std::setw(12) << "imbalance";
+  for (std::uint32_t n = 0; n < workload.num_nodes; ++n) {
+    std::cout << std::setw(14) << ("node" + std::to_string(n) + " wait");
+  }
+  std::cout << '\n';
+  const double baseline = cases[0].result.flat.exec_time;
+  for (const CaseResult& run : cases) {
+    std::ostringstream speedup;
+    speedup << std::fixed << std::setprecision(3)
+            << baseline / run.result.flat.exec_time << 'x';
+    std::cout << std::left << std::setw(12) << run.label << std::right
+              << std::fixed << std::setprecision(4) << std::setw(12)
+              << run.result.flat.exec_time << std::setw(12) << speedup.str()
+              << std::setprecision(3) << std::setw(12)
+              << run.result.flat.imbalance;
+    for (const cluster::NodeStats& node : run.result.nodes) {
+      std::ostringstream wait;
+      wait << std::fixed << std::setprecision(3) << node.wait << 's';
+      std::cout << std::setw(14) << wait.str();
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nShape checks: inner-only beats all-MEDIUM (within-node\n"
+               "heavy/light imbalance); two-level also drains the lagging\n"
+               "node's extra wait and finishes fastest.\n";
+  for (const CaseResult& run : cases) {
+    if (run.final_boost.empty()) continue;
+    std::cout << run.label << " final node boosts:";
+    for (const int b : run.final_boost) std::cout << ' ' << b;
+    std::cout << '\n';
+  }
+
+  if (!cli.json_path.empty()) {
+    std::ofstream file(cli.json_path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "cannot open '" << cli.json_path << "' for writing\n";
+      return 1;
+    }
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      runner::RunOutcome outcome;
+      outcome.label = cases[c].label;
+      outcome.index = c;
+      outcome.ok = true;
+      outcome.result = std::move(cases[c].result.flat);
+      file << runner::to_json_record(outcome, cases[c].result.node_of_rank)
+           << '\n';
+    }
+  }
+
+  const double two_level = cases[2].result.flat.exec_time;
+  if (two_level >= baseline) {
+    std::cerr << "REGRESSION: two-level (" << two_level
+              << " s) did not beat all-MEDIUM (" << baseline << " s)\n";
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,199 @@
+#include "cluster/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mpisim/sim.hpp"
+
+namespace smtbal::cluster {
+
+namespace {
+
+/// Routes transfer pricing by placement: ranks on one node go through the
+/// intra-node Network, cross-node ranks through the (stateful, contended)
+/// Interconnect.
+class ClusterCostModel final : public mpisim::MessageCostModel {
+ public:
+  ClusterCostModel(const mpisim::NetworkConfig& intra, Interconnect& inter,
+                   const std::vector<std::uint32_t>& node_of_rank)
+      : network_(intra), inter_(inter), node_of_rank_(node_of_rank) {}
+
+  SimTime arrival_time(SimTime send_time, RankId src, RankId dst,
+                       std::uint64_t bytes) override {
+    const std::uint32_t src_node = node_of_rank_[src.value()];
+    const std::uint32_t dst_node = node_of_rank_[dst.value()];
+    if (src_node == dst_node) return network_.arrival_time(send_time, bytes);
+    return inter_.transfer(send_time, src_node, dst_node, bytes);
+  }
+
+  SimTime collective_step_cost(std::uint64_t bytes) override {
+    // The binomial tree's slowest step crosses nodes, so a multi-node
+    // collective is paced by the pricier of the two paths; with one node
+    // this is exactly the flat engine's cost (M=1 bit-identity).
+    const SimTime intra = network_.arrival_time(0.0, bytes);
+    if (inter_.num_nodes() <= 1) return intra;
+    return std::max(intra, inter_.uncontended_cost(bytes));
+  }
+
+ private:
+  mpisim::Network network_;
+  Interconnect& inter_;
+  const std::vector<std::uint32_t>& node_of_rank_;
+};
+
+}  // namespace
+
+void ClusterConfig::validate() const {
+  SMTBAL_REQUIRE(num_nodes >= 1, "ClusterConfig.num_nodes must be >= 1");
+  node.validate();
+  interconnect.validate();
+}
+
+ClusterEngine::ClusterEngine(mpisim::Application app,
+                             ClusterPlacement placement, ClusterConfig config)
+    : ClusterEngine(std::move(app), std::move(placement), std::move(config),
+                    nullptr) {}
+
+ClusterEngine::ClusterEngine(mpisim::Application app,
+                             ClusterPlacement placement, ClusterConfig config,
+                             std::shared_ptr<smt::ThroughputSampler> sampler)
+    : app_(std::move(app)),
+      placement_(std::move(placement)),
+      config_(std::move(config)),
+      sampler_(std::move(sampler)),
+      interconnect_(config_.interconnect, config_.num_nodes) {
+  config_.validate();
+  // All nodes run identical chips, so one sampler serves the whole
+  // cluster: a load measured for any node is memoised for all of them.
+  if (sampler_ == nullptr) {
+    sampler_ = std::make_shared<smt::ThroughputSampler>(config_.node.chip,
+                                                        config_.node.sampler);
+  }
+  kernels_.reserve(config_.num_nodes);
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    kernels_.push_back(std::make_unique<os::KernelModel>(
+        config_.node.kernel_flavor, config_.node.chip));
+  }
+  SMTBAL_REQUIRE(placement_.size() == app_.size(),
+                 "cluster placement size must match rank count");
+  placement_.validate(config_.num_nodes, config_.node.chip.num_contexts(),
+                      config_.node.chip.threads_per_core());
+  app_.validate();
+}
+
+void ClusterEngine::add_observer(mpisim::SimObserver* observer) {
+  SMTBAL_REQUIRE(observer != nullptr, "observer must not be null");
+  SMTBAL_REQUIRE(!ran_, "add_observer must be called before run()");
+  observers_.push_back(observer);
+}
+
+void ClusterEngine::set_rank_priority(RankId rank, int priority) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "set_rank_priority is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(), "rank out of range");
+  os::KernelModel& kernel = *kernels_[placement_.node_of_rank[rank.value()]];
+  const Pid pid = pid_of_rank_[rank.value()];
+  // A rank that already exited has no process to re-prioritise; ignore,
+  // as a userspace balancer racing process exit would experience.
+  const CpuId cpu = placement_.within.cpu_of_rank[rank.value()];
+  if (kernel.process_on(cpu) != std::optional<Pid>(pid)) return;
+  const int before = smt::level(kernel.effective_priority(cpu));
+  if (kernel.flavor() == os::KernelFlavor::kPatched) {
+    kernel.write_hmt_priority(pid, priority);
+  } else {
+    // Vanilla kernel: userspace can only use the or-nop interface, which
+    // is limited to priorities 2..4 (paper Table I).
+    kernel.set_priority_ornop(pid, smt::priority_from_int(priority),
+                              smt::PrivilegeLevel::kUser);
+  }
+  const int after = smt::level(kernel.effective_priority(cpu));
+  if (after != before && active_bus_ != nullptr) {
+    if (sim_ != nullptr) {
+      sim_->notify_priority_change(rank, before, after);
+    } else {
+      active_bus_->notify_priority_change(rank, before, after, 0.0);
+    }
+  }
+}
+
+int ClusterEngine::rank_priority(RankId rank) const {
+  SMTBAL_REQUIRE(rank.value() < placement_.size(), "rank out of range");
+  const os::KernelModel& kernel =
+      *kernels_[placement_.node_of_rank[rank.value()]];
+  return smt::level(
+      kernel.effective_priority(placement_.within.cpu_of_rank[rank.value()]));
+}
+
+ClusterRunResult ClusterEngine::run() {
+  SMTBAL_REQUIRE(!ran_, "ClusterEngine::run() may be called only once");
+  ran_ = true;
+
+  mpisim::ObserverBus bus;
+  for (mpisim::SimObserver* observer : observers_) bus.attach(observer);
+  mpisim::TraceObserver trace_observer(app_.size());
+  mpisim::MetricsObserver metrics_observer(app_.size());
+  mpisim::PolicyObserver policy_observer(policy_, *this);
+  bus.attach(&trace_observer);
+  bus.attach(&metrics_observer);
+  if (policy_ != nullptr) bus.attach(&policy_observer);
+
+  // Reset the live-run notification targets however run() exits.
+  struct ActiveRun {
+    ClusterEngine& engine;
+    ~ActiveRun() {
+      engine.sim_ = nullptr;
+      engine.active_bus_ = nullptr;
+    }
+  } active{*this};
+  active_bus_ = &bus;
+
+  for (std::size_t r = 0; r < app_.size(); ++r) {
+    pid_of_rank_.push_back(kernels_[placement_.node_of_rank[r]]->spawn(
+        placement_.within.cpu_of_rank[r]));
+  }
+  bus.notify_start(app_.size());
+  if (policy_ != nullptr) policy_->on_start(*this);
+
+  std::vector<mpisim::detail::NodeCtx> nodes;
+  nodes.reserve(config_.num_nodes);
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    nodes.push_back(mpisim::detail::NodeCtx{&config_.node.chip,
+                                            sampler_.get(),
+                                            kernels_[n].get()});
+  }
+  ClusterCostModel cost(config_.node.network, interconnect_,
+                        placement_.node_of_rank);
+  mpisim::detail::Sim sim(app_, placement_.within, placement_.node_of_rank,
+                          config_.node, std::move(nodes), cost, pid_of_rank_,
+                          bus);
+  sim_ = &sim;
+  const mpisim::detail::RunStats stats = sim.run();
+
+  ClusterRunResult result;
+  result.flat.trace = trace_observer.take();
+  result.flat.exec_time = stats.end_time;
+  result.flat.imbalance = result.flat.trace.imbalance();
+  result.flat.events = stats.events;
+  for (const auto& kernel : kernels_) {
+    result.flat.priority_resets += kernel->priority_resets();
+  }
+  result.flat.sampler_stats = sampler_->stats();
+  result.flat.metrics = metrics_observer.take();
+
+  result.node_of_rank = placement_.node_of_rank;
+  result.nodes.assign(config_.num_nodes, NodeStats{});
+  for (std::size_t r = 0; r < result.flat.metrics.ranks.size(); ++r) {
+    NodeStats& node = result.nodes[placement_.node_of_rank[r]];
+    const mpisim::RankMetrics& rank = result.flat.metrics.ranks[r];
+    node.compute += rank.compute;
+    node.wait += rank.wait;
+    node.spin += rank.spin;
+    node.preempted += rank.preempted;
+    ++node.ranks;
+  }
+  return result;
+}
+
+}  // namespace smtbal::cluster

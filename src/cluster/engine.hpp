@@ -1,0 +1,120 @@
+// Multi-node cluster engine: M nodes, each with its own smt::Chip +
+// os::KernelModel, coupled by cross-node messages priced through
+// cluster::Interconnect and driven by the same mpisim::detail::Sim event
+// loop as the flat engine.
+//
+// Every node runs the same chip/kernel/network configuration
+// (ClusterConfig.node) — the paper's cluster-of-identical-OpenPower-710s
+// scenario — and shares one ThroughputSampler, so a chip load measured on
+// any node is memoised for all of them. A cluster of M=1 takes exactly
+// the flat engine's path through the simulation core and reproduces its
+// results bit-for-bit (tests/cluster_test.cpp locks this in).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/interconnect.hpp"
+#include "cluster/placement.hpp"
+#include "mpisim/engine.hpp"
+
+namespace smtbal::cluster {
+
+struct ClusterConfig {
+  std::uint32_t num_nodes = 1;
+  /// Per-node configuration, identical for every node: chip, sampler
+  /// options, kernel flavor, intra-node network, noise profile (seeds are
+  /// offset per node), barrier latency, runaway guards.
+  mpisim::EngineConfig node{};
+  InterconnectConfig interconnect{};
+
+  void validate() const;
+};
+
+/// Per-node aggregate of the per-rank metrics (also serialised into the
+/// smtbal.bench.run/3 JSONL records).
+struct NodeStats {
+  SimTime compute = 0.0;
+  SimTime wait = 0.0;
+  SimTime spin = 0.0;
+  SimTime preempted = 0.0;
+  std::size_t ranks = 0;
+};
+
+struct ClusterRunResult {
+  /// The flat per-rank result (trace, metrics, exec time, imbalance) —
+  /// same shape as a single-node run, rank-indexed globally.
+  mpisim::RunResult flat;
+  std::vector<NodeStats> nodes;
+  std::vector<std::uint32_t> node_of_rank;
+
+  ClusterRunResult() = default;
+  ClusterRunResult(ClusterRunResult&&) = default;
+  ClusterRunResult& operator=(ClusterRunResult&&) = default;
+  ClusterRunResult(const ClusterRunResult&) = delete;
+  ClusterRunResult& operator=(const ClusterRunResult&) = delete;
+};
+
+class ClusterEngine final : public mpisim::EngineControl {
+ public:
+  ClusterEngine(mpisim::Application app, ClusterPlacement placement,
+                ClusterConfig config = {});
+
+  /// Shares a sampler with other runs of the same per-node chip
+  /// configuration (keeps the cycle-level memoisation warm across cases,
+  /// like the flat Engine's shared-sampler constructor).
+  ClusterEngine(mpisim::Application app, ClusterPlacement placement,
+                ClusterConfig config,
+                std::shared_ptr<smt::ThroughputSampler> sampler);
+
+  /// Installs a balancing policy (non-owning; must outlive run()). The
+  /// policy sees global rank ids and the within-node placement; per-node
+  /// policies go through cluster::TwoLevelBalancer.
+  void set_policy(mpisim::BalancePolicy* policy) { policy_ = policy; }
+
+  /// Attaches an additional observer to the run's bus (non-owning; must
+  /// outlive run()). Must be called before run().
+  void add_observer(mpisim::SimObserver* observer);
+
+  /// Runs the application to completion. May be called once per engine.
+  ClusterRunResult run();
+
+  // --- EngineControl (global rank ids) ---------------------------------------
+  void set_rank_priority(RankId rank, int priority) override;
+  [[nodiscard]] int rank_priority(RankId rank) const override;
+  /// The *within-node* placement (cluster policies additionally consult
+  /// node_of_rank()).
+  [[nodiscard]] const mpisim::Placement& placement() const override {
+    return placement_.within;
+  }
+  [[nodiscard]] std::size_t num_ranks() const override { return app_.size(); }
+  /// Node 0's kernel — EngineControl predates multi-node; use
+  /// node_kernel() for a specific node.
+  [[nodiscard]] os::KernelModel& kernel() override { return *kernels_[0]; }
+
+  [[nodiscard]] os::KernelModel& node_kernel(std::uint32_t node) {
+    return *kernels_[node];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& node_of_rank() const {
+    return placement_.node_of_rank;
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  mpisim::Application app_;
+  ClusterPlacement placement_;
+  ClusterConfig config_;
+  std::shared_ptr<smt::ThroughputSampler> sampler_;
+  std::vector<std::unique_ptr<os::KernelModel>> kernels_;
+  Interconnect interconnect_;
+  mpisim::BalancePolicy* policy_ = nullptr;
+  std::vector<mpisim::SimObserver*> observers_;
+  std::vector<Pid> pid_of_rank_;
+  bool ran_ = false;
+  /// Set while run() is live so set_rank_priority can notify the bus with
+  /// the current simulation time and invalidate cached rates.
+  mpisim::detail::Sim* sim_ = nullptr;
+  mpisim::ObserverBus* active_bus_ = nullptr;
+};
+
+}  // namespace smtbal::cluster

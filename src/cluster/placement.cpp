@@ -1,0 +1,108 @@
+#include "cluster/placement.hpp"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace smtbal::cluster {
+
+namespace {
+
+CpuId cpu_from_local(std::uint32_t local, std::uint32_t threads_per_core) {
+  return CpuId{CoreId{local / threads_per_core},
+               ThreadSlot{local % threads_per_core}};
+}
+
+}  // namespace
+
+ClusterPlacement ClusterPlacement::block(std::size_t num_ranks,
+                                         std::uint32_t num_nodes,
+                                         std::uint32_t threads_per_core) {
+  SMTBAL_REQUIRE(num_nodes >= 1, "block placement needs at least one node");
+  SMTBAL_REQUIRE(threads_per_core >= 1, "threads_per_core must be >= 1");
+  const std::size_t per_node = (num_ranks + num_nodes - 1) / num_nodes;
+  ClusterPlacement placement;
+  placement.node_of_rank.reserve(num_ranks);
+  placement.within.cpu_of_rank.reserve(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    placement.node_of_rank.push_back(
+        static_cast<std::uint32_t>(r / per_node));
+    placement.within.cpu_of_rank.push_back(cpu_from_local(
+        static_cast<std::uint32_t>(r % per_node), threads_per_core));
+  }
+  return placement;
+}
+
+ClusterPlacement ClusterPlacement::cyclic(std::size_t num_ranks,
+                                          std::uint32_t num_nodes,
+                                          std::uint32_t threads_per_core) {
+  SMTBAL_REQUIRE(num_nodes >= 1, "cyclic placement needs at least one node");
+  SMTBAL_REQUIRE(threads_per_core >= 1, "threads_per_core must be >= 1");
+  ClusterPlacement placement;
+  placement.node_of_rank.reserve(num_ranks);
+  placement.within.cpu_of_rank.reserve(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    placement.node_of_rank.push_back(
+        static_cast<std::uint32_t>(r % num_nodes));
+    placement.within.cpu_of_rank.push_back(cpu_from_local(
+        static_cast<std::uint32_t>(r / num_nodes), threads_per_core));
+  }
+  return placement;
+}
+
+ClusterPlacement ClusterPlacement::explicit_map(
+    std::vector<std::uint32_t> node_of_rank, mpisim::Placement within) {
+  ClusterPlacement placement;
+  placement.node_of_rank = std::move(node_of_rank);
+  placement.within = std::move(within);
+  return placement;
+}
+
+std::vector<std::vector<std::size_t>> ClusterPlacement::ranks_by_node(
+    std::uint32_t num_nodes) const {
+  std::vector<std::vector<std::size_t>> by_node(num_nodes);
+  for (std::size_t r = 0; r < node_of_rank.size(); ++r) {
+    SMTBAL_REQUIRE(node_of_rank[r] < num_nodes,
+                   "ClusterPlacement names a node beyond num_nodes");
+    by_node[node_of_rank[r]].push_back(r);
+  }
+  return by_node;
+}
+
+void ClusterPlacement::validate(std::uint32_t num_nodes,
+                                std::uint32_t contexts_per_node,
+                                std::uint32_t threads_per_core) const {
+  if (node_of_rank.size() != within.cpu_of_rank.size()) {
+    std::ostringstream os;
+    os << "ClusterPlacement maps disagree: node_of_rank has "
+       << node_of_rank.size() << " ranks but within-node placement has "
+       << within.cpu_of_rank.size();
+    throw InvalidArgument(os.str());
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seats;
+  for (std::size_t r = 0; r < node_of_rank.size(); ++r) {
+    if (node_of_rank[r] >= num_nodes) {
+      std::ostringstream os;
+      os << "rank " << r << " placed on node " << node_of_rank[r]
+         << " but the cluster has " << num_nodes << " node(s)";
+      throw InvalidArgument(os.str());
+    }
+    const std::uint32_t lin = within.cpu_of_rank[r].linear(threads_per_core);
+    if (lin >= contexts_per_node) {
+      std::ostringstream os;
+      os << "rank " << r << " placed on within-node CPU " << lin
+         << " but each node has " << contexts_per_node << " context(s)";
+      throw InvalidArgument(os.str());
+    }
+    if (!seats.emplace(node_of_rank[r], lin).second) {
+      std::ostringstream os;
+      os << "ranks collide on node " << node_of_rank[r] << " CPU " << lin
+         << " (one MPI rank per context)";
+      throw InvalidArgument(os.str());
+    }
+  }
+}
+
+}  // namespace smtbal::cluster

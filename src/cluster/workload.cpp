@@ -1,0 +1,55 @@
+#include "cluster/workload.hpp"
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::cluster {
+
+void SkewedClusterConfig::validate() const {
+  SMTBAL_REQUIRE(num_nodes >= 1, "num_nodes must be >= 1");
+  SMTBAL_REQUIRE(ranks_per_node >= 2 && ranks_per_node % 2 == 0,
+                 "ranks_per_node must be an even count >= 2 (heavy/light "
+                 "pairs per core)");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+  SMTBAL_REQUIRE(base_instructions > 0.0, "base_instructions must be > 0");
+  SMTBAL_REQUIRE(light_fraction > 0.0 && light_fraction <= 1.0,
+                 "light_fraction must be in (0,1]");
+  for (const double scale : node_scale) {
+    SMTBAL_REQUIRE(scale > 0.0, "node_scale entries must be > 0");
+  }
+  SMTBAL_REQUIRE(stat_duration >= 0.0, "stat_duration must be >= 0");
+}
+
+SkewedCluster make_skewed_cluster(const SkewedClusterConfig& config,
+                                  std::uint32_t threads_per_core) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+  const std::size_t num_ranks =
+      std::size_t{config.num_nodes} * config.ranks_per_node;
+
+  SkewedCluster result;
+  result.placement = ClusterPlacement::block(num_ranks, config.num_nodes,
+                                             threads_per_core);
+  result.app.name = "SkewedCluster";
+  result.app.ranks.resize(num_ranks);
+
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    const std::uint32_t node = result.placement.node_of_rank[r];
+    const std::uint32_t slot =
+        result.placement.within.cpu_of_rank[r].slot.value();
+    // Slot 0 of each core hosts the heavy worker; every rank on a scaled
+    // node carries the node's multiplier.
+    const double load = config.base_instructions * config.scale_of(node) *
+                        (slot == 0 ? 1.0 : config.light_fraction);
+    auto& program = result.app.ranks[r];
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, load);
+      program.delay(config.stat_duration, trace::RankState::kStat);
+      program.barrier();
+    }
+  }
+  return result;
+}
+
+}  // namespace smtbal::cluster

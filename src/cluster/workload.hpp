@@ -1,0 +1,52 @@
+// Deliberately node-skewed MetBench-style workload for cluster benches.
+//
+// Every node hosts the same within-node mix — each core pairs a heavy
+// rank (slot 0) with a light one (slot 1), MetBench's intrinsic
+// imbalance — but whole nodes are scaled against each other
+// (node_scale), so one node's ranks arrive last at every global barrier.
+// The within-node imbalance is what the inner (SMT-priority) level
+// fixes; the cross-node skew is what the outer level reacts to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "mpisim/phase.hpp"
+
+namespace smtbal::cluster {
+
+struct SkewedClusterConfig {
+  std::uint32_t num_nodes = 2;
+  /// Ranks per node; must be even (heavy/light pairs per core).
+  std::uint32_t ranks_per_node = 4;
+  int iterations = 20;
+  std::string load_kernel = "hpc_mixed";
+  /// Heavy-rank instructions per iteration on an unscaled node.
+  double base_instructions = 2e9;
+  /// Light rank's share of the heavy load (within-node imbalance).
+  double light_fraction = 0.25;
+  /// Per-node load multiplier; shorter than num_nodes extends with 1.0.
+  /// The default makes node 0 the cluster's laggard.
+  std::vector<double> node_scale = {1.6};
+  /// Per-iteration statistics delay (MetBench's black bars).
+  SimTime stat_duration = 0.01;
+
+  void validate() const;
+
+  [[nodiscard]] double scale_of(std::uint32_t node) const {
+    return node < node_scale.size() ? node_scale[node] : 1.0;
+  }
+};
+
+struct SkewedCluster {
+  mpisim::Application app;
+  ClusterPlacement placement;
+};
+
+/// Builds the application + block placement described by `config`.
+[[nodiscard]] SkewedCluster make_skewed_cluster(
+    const SkewedClusterConfig& config, std::uint32_t threads_per_core = 2);
+
+}  // namespace smtbal::cluster

@@ -24,6 +24,18 @@ DynamicBalancer::DynamicBalancer(DynamicBalancerConfig config)
   config_.validate();
 }
 
+void DynamicBalancer::set_max_diff(int max_diff) {
+  SMTBAL_REQUIRE(max_diff >= 1 && max_diff < config_.high_priority,
+                 "max_diff must be >= 1 and leave a valid low priority");
+  config_.max_diff = max_diff;
+  for (auto& [core, gap] : gap_of_core_) {
+    gap = std::clamp(gap, -config_.max_diff, config_.max_diff);
+  }
+  for (auto& [core, state] : wide_state_) {
+    state.gap = std::min(state.gap, config_.max_diff);
+  }
+}
+
 void DynamicBalancer::on_start(mpisim::EngineControl& control) {
   smoothed_wait_.assign(control.num_ranks(), 0.0);
   gap_of_core_.clear();

@@ -55,6 +55,16 @@ class DynamicBalancer final : public mpisim::BalancePolicy {
   /// Number of priority rewrites performed so far.
   [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
 
+  /// Re-bounds the gap ceiling while the controller is live. POWER5
+  /// decode weights are relative within a core, so an outer (node-level)
+  /// balancer speeds up a lagging node by *widening* its cores' allowed
+  /// gap, not by shifting all priorities up (a uniform shift is a no-op).
+  /// Live gaps beyond the new ceiling are clamped; the next epoch
+  /// re-applies priorities. Throws InvalidArgument on an out-of-range
+  /// ceiling (same bounds as DynamicBalancerConfig::max_diff).
+  void set_max_diff(int max_diff);
+  [[nodiscard]] int max_diff() const { return config_.max_diff; }
+
  private:
   void apply_gap(mpisim::EngineControl& control, std::size_t first,
                  std::size_t second, int gap);

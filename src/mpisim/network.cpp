@@ -1,12 +1,27 @@
 #include "mpisim/network.hpp"
 
+#include <cmath>
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace smtbal::mpisim {
 
 void NetworkConfig::validate() const {
-  SMTBAL_REQUIRE(base_latency >= 0.0, "latency must be non-negative");
-  SMTBAL_REQUIRE(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
+  if (!std::isfinite(base_latency) || base_latency < 0.0) {
+    std::ostringstream os;
+    os << "NetworkConfig.base_latency must be finite and non-negative, got "
+       << base_latency;
+    throw InvalidArgument(os.str());
+  }
+  if (!std::isfinite(bandwidth_bytes_per_s) || bandwidth_bytes_per_s <= 0.0) {
+    std::ostringstream os;
+    os << "NetworkConfig.bandwidth_bytes_per_s must be finite and positive, "
+          "got "
+       << bandwidth_bytes_per_s
+       << " (zero/negative bandwidth would stall or reverse every message)";
+    throw InvalidArgument(os.str());
+  }
 }
 
 Network::Network(NetworkConfig config) : config_(config) { config_.validate(); }

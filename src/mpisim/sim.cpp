@@ -1,0 +1,548 @@
+#include "mpisim/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::mpisim {
+namespace detail {
+
+namespace {
+constexpr SimTime kTimeEps = 1e-12;
+}  // namespace
+
+Sim::Sim(const Application& app, const Placement& placement,
+         const std::vector<std::uint32_t>& node_of_rank,
+         const EngineConfig& config, std::vector<NodeCtx> nodes,
+         MessageCostModel& cost, const std::vector<Pid>& pids,
+         ObserverBus& bus)
+    : app_(app),
+      placement_(placement),
+      node_of_rank_(node_of_rank),
+      config_(config),
+      cost_(cost),
+      pids_(pids),
+      bus_(bus),
+      nodes_(nodes.size()),
+      ranks_(app.size()),
+      spin_kernel_(
+          isa::KernelRegistry::instance().by_name(config.spin_kernel).id),
+      collectives_(app.size()) {
+  SMTBAL_CHECK(!nodes.empty());
+  SMTBAL_CHECK(node_of_rank_.size() == app.size());
+
+  std::uint32_t ctx_base = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    NodeRt& node = nodes_[n];
+    node.ctx = nodes[n];
+    node.ctx_base = ctx_base;
+    const std::uint32_t contexts = node.ctx.chip->num_contexts();
+    for (std::uint32_t ctx = 0; ctx < contexts; ++ctx) {
+      node_of_ctx_.push_back(static_cast<std::uint32_t>(n));
+    }
+    if (config_.noise_horizon > 0.0) {
+      // Every node draws from the same noise profile; the seed is offset
+      // per node so timelines decorrelate (node 0 keeps the configured
+      // seed, so single-node runs are unchanged).
+      os::NoiseConfig noise_config = config_.noise;
+      noise_config.seed += static_cast<std::uint64_t>(n);
+      node.noise = os::NoiseSource(noise_config, config_.noise_horizon,
+                                   contexts, node.ctx.chip->threads_per_core());
+    }
+    ctx_base += contexts;
+  }
+  rank_on_linear_.assign(ctx_base, -1);
+  preempt_until_.assign(ctx_base, 0.0);
+
+  ctx_of_rank_.resize(app.size());
+  lin_of_rank_.resize(app.size());
+  for (std::size_t r = 0; r < app.size(); ++r) {
+    NodeRt& node = node_of(r);
+    const std::uint32_t lin =
+        placement_.cpu_of_rank[r].linear(node.ctx.chip->threads_per_core());
+    lin_of_rank_[r] = lin;
+    ctx_of_rank_[r] = node.ctx_base + lin;
+    rank_on_linear_[ctx_of_rank_[r]] = static_cast<int>(r);
+    node.ranks.push_back(r);
+  }
+}
+
+bool Sim::preempted(std::size_t rank) const {
+  return preempt_until_[ctx_of_rank_[rank]] > now_ + kTimeEps;
+}
+
+void Sim::notify_priority_change(RankId rank, int from, int to) {
+  emit_meta(EventKind::kPriorityChange, rank.value());
+  bus_.notify_priority_change(rank, from, to, now_);
+}
+
+void Sim::set_trace(std::size_t rank, trace::RankState state) {
+  RankRt& rt = ranks_[rank];
+  if (rt.shown == state) return;
+  if (now_ > rt.state_since && rt.shown != trace::RankState::kDone) {
+    bus_.notify_interval(RankId{static_cast<std::uint32_t>(rank)},
+                         rt.state_since, now_, rt.shown);
+  }
+  rt.state_since = now_;
+  rt.shown = state;
+}
+
+/// Publishes a synthesized (never-queued) event to the observers.
+void Sim::emit_meta(EventKind kind, std::uint32_t subject) {
+  Event event;
+  event.time = now_;
+  event.kind = kind;
+  event.subject = subject;
+  bus_.notify_event(event);
+}
+
+void Sim::finish_rank(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  rt.state = RunState::kDone;
+  set_trace(rank, trace::RankState::kDone);
+  node_of(rank).ctx.kernel->exit_process(pids_[rank]);
+  ++done_count_;
+}
+
+/// Materialises the rank's compute progress up to now_ (the segment
+/// boundary of the piecewise-constant integration).
+void Sim::accrue(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  const SimTime dt = now_ - rt.accrued_at;
+  if (dt > 0.0) {
+    rt.remaining -= rt.rate * dt;
+    rt.acc_compute += dt;
+  }
+  rt.accrued_at = now_;
+}
+
+/// Starts a fresh integration segment at `rate` and predicts the
+/// completion into the queue (no prediction for a starved rate, exactly
+/// as the rescan loop had no next-event candidate for it).
+void Sim::start_segment(std::size_t rank, double rate) {
+  RankRt& rt = ranks_[rank];
+  rt.rate = rate;
+  rt.accrued_at = now_;
+  ++rt.compute_gen;
+  rt.pred_valid = false;
+  if (rate > 0.0) {
+    queue_.push(now_ + rt.remaining / rate, EventKind::kComputeDone,
+                static_cast<std::uint32_t>(rank), rt.compute_gen);
+    rt.pred_valid = true;
+  }
+}
+
+/// Drops a queued compute prediction (rate change, preemption) without
+/// touching the heap: the generation bump makes the queued entry stale.
+void Sim::invalidate_prediction(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  rt.pred_valid = false;
+  ++rt.compute_gen;
+}
+
+/// Re-derives rates on every node whose chip load changed, and
+/// (re-)predicts completions — but only for the contexts whose sampled
+/// rate actually changed or that started a fresh compute segment;
+/// everyone else's queued prediction stays valid. Nodes are independent
+/// sampling domains: an event on one node re-samples only that node.
+void Sim::refresh_rates() {
+  for (NodeRt& node : nodes_) {
+    const smt::ChipLoad load = build_load(node);
+    const std::uint64_t key = load.key();
+    if (node.have_rates && key == node.load_key) continue;
+    node.load_key = key;
+    node.have_rates = true;
+    // Copy, not reference: the sampler's map may rehash on later misses.
+    node.rates = node.ctx.sampler->sample(load);
+    for (const std::size_t r : node.ranks) {
+      RankRt& rt = ranks_[r];
+      if (rt.state != RunState::kComputing || preempted(r)) continue;
+      const double rate = node.rates.instr_rate[lin_of_rank_[r]];
+      if (!rt.pred_valid) {
+        start_segment(r, rate);
+      } else if (rate != rt.rate) {
+        accrue(r);
+        start_segment(r, rate);
+      }
+    }
+  }
+  // Fresh compute segments on nodes whose load key did not change (the
+  // re-sampled nodes above already predicted them: pred_valid is set).
+  for (const std::size_t r : fresh_compute_) {
+    RankRt& rt = ranks_[r];
+    if (rt.state != RunState::kComputing || rt.pred_valid || preempted(r)) {
+      continue;
+    }
+    start_segment(r, node_of(r).rates.instr_rate[lin_of_rank_[r]]);
+  }
+  fresh_compute_.clear();
+}
+
+/// Current load of one node's chip: what every context runs right now.
+smt::ChipLoad Sim::build_load(const NodeRt& node) const {
+  smt::ChipLoad load;
+  const smt::ChipConfig& chip = *node.ctx.chip;
+  for (std::uint32_t ctx = 0; ctx < chip.num_contexts(); ++ctx) {
+    const CpuId cpu = chip.cpu(ctx);
+    if (!node.ctx.kernel->process_on(cpu).has_value()) continue;  // idle
+    const int rank = rank_on_linear_[node.ctx_base + ctx];
+    SMTBAL_CHECK(rank >= 0);
+    const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+    const bool computing = rt.state == RunState::kComputing &&
+                           !preempted(static_cast<std::size_t>(rank));
+    load.contexts[ctx] =
+        smt::ContextLoad{computing ? rt.kernel : spin_kernel_,
+                         node.ctx.kernel->effective_priority(cpu)};
+  }
+  return load;
+}
+
+/// A message for `rank` arrived: if it is blocked in waitall, recompute
+/// its readiness (and complete it if already due).
+void Sim::notify_receiver(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  if (rt.state != RunState::kAtWaitAll) return;
+  SimTime max_arrival = 0.0;
+  if (collectives_.match_all(static_cast<std::uint32_t>(rank), rt.posted,
+                             max_arrival)) {
+    rt.ready_at = std::max(max_arrival, now_);
+    if (rt.ready_at <= now_ + kTimeEps) complete_block(rank);
+  }
+}
+
+/// The rank's blocking condition is satisfied: advance past the phase.
+void Sim::complete_block(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  switch (rt.state) {
+    case RunState::kComputing:
+      break;
+    case RunState::kDelaying:
+      break;
+    case RunState::kAtBarrier:
+      rt.acc_wait += now_ - rt.wait_since;
+      ++rt.epochs;
+      epochs_dirty_ = true;
+      break;
+    case RunState::kAtWaitAll:
+      rt.acc_wait += now_ - rt.wait_since;
+      rt.posted.clear();
+      ++rt.epochs;
+      epochs_dirty_ = true;
+      break;
+    case RunState::kDone:
+      return;
+  }
+  rt.ready_at = kSimInf;
+  ++rt.phase;
+  advance_rank(rank);
+}
+
+// CollectiveClient: a due collective releases this rank.
+void Sim::release_rank(std::size_t rank) { complete_block(rank); }
+
+/// The rank arrives at a global collective; when the last participant
+/// arrives, everyone is released after `release_cost` (the collective
+/// sequences are identical across ranks — validated — so every arriver
+/// passes the same cost). A costed release is scheduled as a single
+/// kBarrierRelease event; a zero-cost release drains inline through the
+/// collectives module's re-entrant-safe queue.
+void Sim::arrive_collective(std::size_t rank, SimTime release_cost) {
+  RankRt& rt = ranks_[rank];
+  rt.state = RunState::kAtBarrier;
+  rt.ready_at = kSimInf;
+  rt.wait_since = now_;
+  set_trace(rank, trace::RankState::kSync);
+  if (!collectives_.arrive()) return;
+  const SimTime release = now_ + release_cost;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r].state == RunState::kAtBarrier) {
+      ranks_[r].ready_at = release;
+    }
+  }
+  if (release > now_ + kTimeEps) {
+    queue_.push(release, EventKind::kBarrierRelease);
+    return;
+  }
+  collectives_.release_due(now_, kTimeEps, ranks_, *this);
+}
+
+/// Executes phases from the rank's cursor until it blocks or finishes.
+void Sim::advance_rank(std::size_t rank) {
+  RankRt& rt = ranks_[rank];
+  const auto& phases = app_.ranks[rank].phases;
+
+  while (true) {
+    if (rt.phase >= phases.size()) {
+      finish_rank(rank);
+      return;
+    }
+    const Phase& phase = phases[rt.phase];
+
+    if (const auto* compute = std::get_if<ComputePhase>(&phase)) {
+      if (compute->instructions <= 0.0) {
+        ++rt.phase;
+        continue;
+      }
+      rt.state = RunState::kComputing;
+      rt.remaining = compute->instructions;
+      rt.kernel = compute->kernel;
+      rt.compute_traced_as = compute->traced_as;
+      invalidate_prediction(rank);
+      fresh_compute_.push_back(rank);
+      set_trace(rank, compute->traced_as);
+      return;
+    }
+    if (std::holds_alternative<BarrierPhase>(phase)) {
+      arrive_collective(rank, config_.barrier_latency);
+      return;
+    }
+    if (const auto* reduce = std::get_if<AllreducePhase>(&phase)) {
+      // Reduce + broadcast over a binomial tree: 2*ceil(log2 N)
+      // point-to-point steps after the last rank arrives.
+      const double n = static_cast<double>(ranks_.size());
+      const double steps = 2.0 * std::ceil(std::log2(std::max(n, 2.0)));
+      const SimTime step_cost = cost_.collective_step_cost(reduce->bytes);
+      arrive_collective(rank, config_.barrier_latency + steps * step_cost);
+      return;
+    }
+    if (const auto* send = std::get_if<SendPhase>(&phase)) {
+      const SimTime arrival =
+          cost_.arrival_time(now_, RankId{static_cast<std::uint32_t>(rank)},
+                             send->peer, send->bytes);
+      collectives_.post_send(static_cast<std::uint32_t>(rank),
+                             send->peer.value(), send->tag, arrival);
+      queue_.push(arrival, EventKind::kMsgArrival, send->peer.value(), 0,
+                  MsgPayload{static_cast<std::uint32_t>(rank),
+                             send->peer.value(), send->tag});
+      ++rt.phase;
+      continue;
+    }
+    if (const auto* recv = std::get_if<RecvPhase>(&phase)) {
+      rt.posted.push_back(RecvReq{recv->peer.value(), recv->tag});
+      ++rt.phase;
+      continue;
+    }
+    if (std::holds_alternative<WaitAllPhase>(phase)) {
+      SimTime max_arrival = 0.0;
+      const bool all = collectives_.match_all(
+          static_cast<std::uint32_t>(rank), rt.posted, max_arrival);
+      if (all && max_arrival <= now_ + kTimeEps) {
+        rt.posted.clear();
+        ++rt.epochs;
+        epochs_dirty_ = true;
+        ++rt.phase;
+        continue;
+      }
+      rt.state = RunState::kAtWaitAll;
+      // A fully matched set with in-flight messages completes at the
+      // last arrival; its kMsgArrival event is already queued and wakes
+      // the rank. Unmatched receives wait for a future send.
+      rt.ready_at = all ? std::max(max_arrival, now_) : kSimInf;
+      rt.wait_since = now_;
+      set_trace(rank, trace::RankState::kSync);
+      return;
+    }
+    if (const auto* delay = std::get_if<DelayPhase>(&phase)) {
+      if (delay->duration <= 0.0) {
+        ++rt.phase;
+        continue;
+      }
+      rt.state = RunState::kDelaying;
+      rt.delay_until = now_ + delay->duration;
+      rt.delay_traced_as = delay->traced_as;
+      queue_.push(rt.delay_until, EventKind::kDelayDone,
+                  static_cast<std::uint32_t>(rank));
+      set_trace(rank, delay->traced_as);
+      return;
+    }
+    SMTBAL_CHECK_MSG(false, "unhandled phase variant");
+  }
+}
+
+/// Schedules the node's next pending OS-noise event (one outstanding per
+/// node at a time; each node's source is consumed in timeline order).
+void Sim::schedule_next_noise(NodeRt& node) {
+  if (node.noise.exhausted()) return;
+  const os::NoiseEvent& event = node.noise.peek();
+  queue_.push(event.start, EventKind::kNoisePreempt,
+              node.ctx_base +
+                  event.cpu.linear(node.ctx.chip->threads_per_core()));
+}
+
+void Sim::on_noise_preempt(std::uint32_t global_ctx) {
+  NodeRt& node = nodes_[node_of_ctx_[global_ctx]];
+  const os::NoiseEvent event = node.noise.next();
+  schedule_next_noise(node);
+  node.ctx.kernel->on_interrupt(event.cpu);
+  const std::uint32_t lin =
+      node.ctx_base + event.cpu.linear(node.ctx.chip->threads_per_core());
+  if (lin >= preempt_until_.size()) return;
+  const bool was_preempted = preempt_until_[lin] > now_ + kTimeEps;
+  preempt_until_[lin] = std::max(preempt_until_[lin], event.end());
+  queue_.push(preempt_until_[lin], EventKind::kNoiseResume, lin);
+  const bool is_preempted = preempt_until_[lin] > now_ + kTimeEps;
+  const int rank = rank_on_linear_[lin];
+  if (rank < 0) return;
+  RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+  if (rt.state == RunState::kDone) return;
+  if (!was_preempted && is_preempted && rt.state == RunState::kComputing) {
+    // Suspend the integration segment for the preemption window.
+    accrue(static_cast<std::size_t>(rank));
+    invalidate_prediction(static_cast<std::size_t>(rank));
+  }
+  set_trace(static_cast<std::size_t>(rank), trace::RankState::kPreempted);
+}
+
+void Sim::on_noise_resume(std::uint32_t global_ctx) {
+  preempt_until_[global_ctx] = 0.0;
+  const int rank = rank_on_linear_[global_ctx];
+  if (rank < 0) return;
+  RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
+  if (rt.state != RunState::kDone) {
+    set_trace(static_cast<std::size_t>(rank), base_trace(rt));
+  }
+  if (rt.state == RunState::kComputing && !rt.pred_valid) {
+    // Resume the suspended segment; refresh_rates() predicts anew.
+    fresh_compute_.push_back(static_cast<std::size_t>(rank));
+  }
+}
+
+/// A queued event that no longer matches the simulation state (lazy
+/// invalidation): superseded compute predictions and noise resumes of
+/// preemption windows that were extended or already closed.
+bool Sim::is_stale(const Event& event) const {
+  switch (event.kind) {
+    case EventKind::kComputeDone: {
+      const RankRt& rt = ranks_[event.subject];
+      return event.generation != rt.compute_gen ||
+             rt.state != RunState::kComputing;
+    }
+    case EventKind::kNoiseResume:
+      return preempt_until_[event.subject] == 0.0 ||
+             preempt_until_[event.subject] > event.time + kTimeEps;
+    default:
+      return false;
+  }
+}
+
+void Sim::dispatch(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kComputeDone: {
+      const std::size_t rank = event.subject;
+      accrue(rank);
+      invalidate_prediction(rank);
+      complete_block(rank);
+      break;
+    }
+    case EventKind::kDelayDone: {
+      RankRt& rt = ranks_[event.subject];
+      if (rt.state == RunState::kDelaying &&
+          rt.delay_until <= now_ + kTimeEps) {
+        complete_block(event.subject);
+      }
+      break;
+    }
+    case EventKind::kMsgArrival:
+      notify_receiver(event.msg.dst);
+      break;
+    case EventKind::kBarrierRelease:
+      collectives_.release_due(now_, kTimeEps, ranks_, *this);
+      break;
+    case EventKind::kNoisePreempt:
+      on_noise_preempt(event.subject);
+      break;
+    case EventKind::kNoiseResume:
+      on_noise_resume(event.subject);
+      break;
+    case EventKind::kPriorityChange:
+    case EventKind::kEpochEnd:
+      break;  // meta kinds are never queued
+  }
+}
+
+/// Reports a crossed epoch boundary (if any) to the observers; returns
+/// true when a report was emitted (a policy may have reacted).
+bool Sim::check_epochs() {
+  epochs_dirty_ = false;
+  // Finished ranks hold their final epoch count, so the global epoch
+  // keeps advancing (and the last epoch gets reported) as ranks exit.
+  int min_epochs = std::numeric_limits<int>::max();
+  for (const RankRt& rt : ranks_) {
+    min_epochs = std::min(min_epochs, rt.epochs);
+  }
+  if (min_epochs == std::numeric_limits<int>::max() ||
+      min_epochs <= reported_epochs_) {
+    return false;
+  }
+  reported_epochs_ = min_epochs;
+
+  EpochReport report;
+  report.epoch = reported_epochs_;
+  report.now = now_;
+  report.ranks.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankRt& rt = ranks_[r];
+    // Materialise the lazy accumulators up to the snapshot point.
+    if (rt.state == RunState::kComputing && !preempted(r)) {
+      accrue(r);
+    } else if (rt.state == RunState::kAtBarrier ||
+               rt.state == RunState::kAtWaitAll) {
+      rt.acc_wait += now_ - rt.wait_since;
+      rt.wait_since = now_;
+    }
+    report.ranks.push_back(RankEpochStats{rt.acc_compute, rt.acc_wait});
+    rt.acc_compute = 0.0;
+    rt.acc_wait = 0.0;
+  }
+  emit_meta(EventKind::kEpochEnd, static_cast<std::uint32_t>(report.epoch));
+  bus_.notify_epoch(report);
+  return true;
+}
+
+void Sim::deadlock() const {
+  std::ostringstream os;
+  os << "MPI application deadlocked at t=" << now_ << "s; rank states:";
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    os << " P" << (r + 1) << "=" << to_string(ranks_[r].state) << "(phase "
+       << ranks_[r].phase << ")";
+  }
+  throw SimulationError(os.str());
+}
+
+RunStats Sim::run() {
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r].state != RunState::kDone) advance_rank(r);
+  }
+  refresh_rates();
+  if (epochs_dirty_ && check_epochs()) refresh_rates();
+  for (NodeRt& node : nodes_) schedule_next_noise(node);
+
+  while (!all_done()) {
+    if (queue_.empty()) deadlock();
+    SMTBAL_CHECK_MSG(++pops_ <= config_.max_events,
+                     "engine exceeded max_events — runaway simulation?");
+    SMTBAL_CHECK_MSG(now_ <= config_.max_sim_time,
+                     "engine exceeded max_sim_time");
+    const Event event = queue_.pop();
+    if (is_stale(event)) continue;
+    now_ = std::max(now_, event.time);
+    ++events_;
+    bus_.notify_event(event);
+    dispatch(event);
+    refresh_rates();
+    if (epochs_dirty_ && check_epochs()) refresh_rates();
+  }
+
+  // Flush trailing trace intervals and close the trace.
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    set_trace(r, trace::RankState::kDone);
+  }
+  bus_.notify_finish(now_);
+  return RunStats{now_, events_};
+}
+
+}  // namespace detail
+}  // namespace smtbal::mpisim

@@ -1,5 +1,6 @@
 #include "runner/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -54,9 +55,16 @@ std::string json_histogram(const mpisim::DurationHistogram& histogram) {
   return out;
 }
 
-std::string to_json_record(const RunOutcome& outcome) {
+namespace {
+
+/// Shared body of the run/2 (flat) and run/3 (cluster) records. The
+/// cluster variant adds a "node" field per rank and a per-node aggregate
+/// array; the flat record is byte-for-byte what it always was.
+std::string json_run_record(const RunOutcome& outcome,
+                            const std::vector<std::uint32_t>* node_of_rank) {
   std::ostringstream os;
-  os << "{\"schema\":\"smtbal.bench.run/2\",\"label\":\""
+  os << "{\"schema\":\"smtbal.bench.run/"
+     << (node_of_rank == nullptr ? 2 : 3) << "\",\"label\":\""
      << json_escape(outcome.label) << "\",\"index\":" << outcome.index
      << ",\"ok\":" << (outcome.ok ? "true" : "false");
   if (!outcome.ok) {
@@ -78,7 +86,11 @@ std::string to_json_record(const RunOutcome& outcome) {
     const trace::RankStats stats = r.trace.stats(RankId{
         static_cast<std::uint32_t>(rank)});
     if (rank > 0) os << ',';
-    os << "{\"comp_fraction\":" << json_num(stats.comp_fraction())
+    os << '{';
+    if (node_of_rank != nullptr) {
+      os << "\"node\":" << (*node_of_rank)[rank] << ',';
+    }
+    os << "\"comp_fraction\":" << json_num(stats.comp_fraction())
        << ",\"sync_fraction\":" << json_num(stats.sync_fraction());
     if (rank < r.metrics.ranks.size()) {
       const mpisim::RankMetrics& m = r.metrics.ranks[rank];
@@ -92,8 +104,53 @@ std::string to_json_record(const RunOutcome& outcome) {
     }
     os << '}';
   }
-  os << "]}";
+  os << ']';
+  if (node_of_rank != nullptr) {
+    // Per-node aggregates of the per-rank metrics.
+    std::uint32_t num_nodes = 0;
+    for (const std::uint32_t node : *node_of_rank) {
+      num_nodes = std::max(num_nodes, node + 1);
+    }
+    struct NodeAgg {
+      double compute = 0.0, wait = 0.0, spin = 0.0, preempted = 0.0;
+      std::size_t ranks = 0;
+    };
+    std::vector<NodeAgg> nodes(num_nodes);
+    for (std::size_t rank = 0;
+         rank < std::min(node_of_rank->size(), r.metrics.ranks.size());
+         ++rank) {
+      NodeAgg& node = nodes[(*node_of_rank)[rank]];
+      const mpisim::RankMetrics& m = r.metrics.ranks[rank];
+      node.compute += m.compute;
+      node.wait += m.wait;
+      node.spin += m.spin;
+      node.preempted += m.preempted;
+      ++node.ranks;
+    }
+    os << ",\"nodes\":[";
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (n > 0) os << ',';
+      os << "{\"ranks\":" << nodes[n].ranks
+         << ",\"compute_s\":" << json_num(nodes[n].compute)
+         << ",\"wait_s\":" << json_num(nodes[n].wait)
+         << ",\"spin_s\":" << json_num(nodes[n].spin)
+         << ",\"preempted_s\":" << json_num(nodes[n].preempted) << '}';
+    }
+    os << ']';
+  }
+  os << '}';
   return os.str();
+}
+
+}  // namespace
+
+std::string to_json_record(const RunOutcome& outcome) {
+  return json_run_record(outcome, nullptr);
+}
+
+std::string to_json_record(const RunOutcome& outcome,
+                           const std::vector<std::uint32_t>& node_of_rank) {
+  return json_run_record(outcome, &node_of_rank);
 }
 
 std::string to_json_batch_record(const BatchResult& batch) {

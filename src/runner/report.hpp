@@ -22,6 +22,14 @@ namespace smtbal::runner {
 /// newline). Deterministic: identical for any worker count.
 [[nodiscard]] std::string to_json_record(const RunOutcome& outcome);
 
+/// Cluster variant (schema smtbal.bench.run/3): same fields as run/2
+/// plus a "node" field on every per-rank record and a "nodes" array of
+/// per-node aggregates (rank count, compute/wait/spin/preempted sums).
+/// `node_of_rank` is the hosting node per global rank, as carried by
+/// cluster::ClusterRunResult.
+[[nodiscard]] std::string to_json_record(
+    const RunOutcome& outcome, const std::vector<std::uint32_t>& node_of_rank);
+
 /// Serialises the batch summary (schema smtbal.bench.batch/1): jobs,
 /// run/failure counts and the aggregate SamplerStats / SampleCacheStats
 /// (lookups, misses, shared hits, hit rate). Scheduling-dependent —

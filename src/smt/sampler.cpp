@@ -1,6 +1,7 @@
 #include "smt/sampler.hpp"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -12,8 +13,16 @@ std::uint64_t ChipLoad::key() const {
   // splitmix64-chained hash over the per-context (kernel, priority) words.
   // kMaxContexts x ~36 significant bits do not fit a packed 64-bit key, so we
   // mix instead; collisions are ~2^-64 per pair of configurations.
-  std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL;
-  for (const auto& slot : contexts) {
+  //
+  // Only the prefix up to the last engaged context is hashed — this is the
+  // hot path of every rate refresh, and real chips engage far fewer than
+  // kMaxContexts contexts. Folding the prefix length into the seed keeps
+  // loads that differ only in trailing idle width from aliasing.
+  std::size_t used = contexts.size();
+  while (used > 0 && !contexts[used - 1].has_value()) --used;
+  std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL ^ used;
+  for (std::size_t ctx = 0; ctx < used; ++ctx) {
+    const auto& slot = contexts[ctx];
     std::uint64_t word = 0;
     if (slot.has_value()) {
       word = (std::uint64_t{slot->kernel} + 1) << 4 |
@@ -27,8 +36,14 @@ std::uint64_t ChipLoad::key() const {
 
 ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
     : config_(std::move(config)), options_(options), chip_(config_) {
-  SMTBAL_REQUIRE(config_.num_contexts() <= kMaxContexts,
-                 "chip has more contexts than the sampler supports");
+  if (config_.num_contexts() > kMaxContexts) {
+    throw InvalidArgument(
+        "chip has " + std::to_string(config_.num_contexts()) +
+        " contexts but the sampler supports at most " +
+        std::to_string(kMaxContexts) +
+        " (smt::kMaxContexts) per sampling domain; model larger machines "
+        "as cluster nodes");
+  }
   SMTBAL_REQUIRE(options_.window_cycles > 0, "window must be positive");
 }
 

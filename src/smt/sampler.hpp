@@ -22,7 +22,10 @@
 
 namespace smtbal::smt {
 
-inline constexpr std::uint32_t kMaxContexts = 16;
+/// Hard ceiling on contexts *per sampling domain* (one chip / one cluster
+/// node), sizing the fixed ChipLoad/SampleResult arrays. A cluster run is
+/// bounded per node, not in total: M nodes x kMaxContexts contexts.
+inline constexpr std::uint32_t kMaxContexts = 64;
 
 /// What one hardware context is running.
 struct ContextLoad {
@@ -41,11 +44,14 @@ struct ChipLoad {
   bool operator==(const ChipLoad&) const = default;
 
   /// 64-bit memoisation key: a splitmix64-chained hash over the
-  /// per-context (kernel, priority) words (idle contexts hash as 0). The
-  /// full load does not fit a packed 64-bit key, so the key is a hash, not
-  /// an encoding: two distinct loads collide with probability ~2^-64 per
-  /// pair, in which case the memoised result of the first load would be
-  /// served for the second. No kernel-id range restriction applies.
+  /// per-context (kernel, priority) words (idle contexts hash as 0) up to
+  /// the last engaged context, with the prefix length folded into the
+  /// seed so that trailing-idle loads of different widths stay distinct.
+  /// The full load does not fit a packed 64-bit key, so the key is a
+  /// hash, not an encoding: two distinct loads collide with probability
+  /// ~2^-64 per pair, in which case the memoised result of the first load
+  /// would be served for the second. No kernel-id range restriction
+  /// applies.
   [[nodiscard]] std::uint64_t key() const;
 };
 

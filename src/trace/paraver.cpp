@@ -1,5 +1,6 @@
 #include "trace/paraver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -45,6 +46,62 @@ std::string to_prv(const Tracer& tracer, double ticks_per_second) {
          tracer.timeline(RankId{static_cast<std::uint32_t>(r)})) {
       os << "1:" << (r + 1) << ":1:" << (r + 1) << ":1:"
          << ticks(interval.begin) << ':' << ticks(interval.end) << ':'
+         << prv_state_code(interval.state) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string to_prv(const Tracer& tracer,
+                   const std::vector<std::uint32_t>& node_of_rank,
+                   double ticks_per_second) {
+  SMTBAL_REQUIRE(ticks_per_second > 0.0, "ticks_per_second must be positive");
+  const std::size_t n = tracer.num_ranks();
+  SMTBAL_REQUIRE(node_of_rank.size() == n,
+                 "node_of_rank must name a node for every traced rank");
+  const auto ticks = [&](SimTime t) {
+    return static_cast<long long>(std::llround(t * ticks_per_second));
+  };
+
+  std::uint32_t num_nodes = 1;
+  for (const std::uint32_t node : node_of_rank) {
+    num_nodes = std::max(num_nodes, node + 1);
+  }
+  // CPUs per PARAVER node = resident ranks; global CPU ids number the
+  // nodes' CPUs consecutively (node 0's CPUs first).
+  std::vector<std::uint32_t> cpus_of_node(num_nodes, 0);
+  std::vector<std::uint32_t> cpu_of_rank(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    cpu_of_rank[r] = cpus_of_node[node_of_rank[r]]++;
+  }
+  std::vector<std::uint32_t> cpu_base(num_nodes, 0);
+  for (std::uint32_t node = 1; node < num_nodes; ++node) {
+    cpu_base[node] = cpu_base[node - 1] + cpus_of_node[node - 1];
+  }
+
+  std::ostringstream os;
+  // Header: num_nodes(cpus_per_node,...) and one application whose tasks
+  // map 1:1 onto ranks, each placed on its hosting node.
+  os << "#Paraver (simulated):" << ticks(tracer.end_time()) << ':'
+     << num_nodes << '(';
+  for (std::uint32_t node = 0; node < num_nodes; ++node) {
+    if (node != 0) os << ',';
+    os << cpus_of_node[node];
+  }
+  os << "):1:" << n << '(';
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r != 0) os << ',';
+    os << "1:" << (node_of_rank[r] + 1);
+  }
+  os << ")\n";
+
+  // State records: 1:cpu:app:task:thread:begin:end:state
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t cpu = cpu_base[node_of_rank[r]] + cpu_of_rank[r] + 1;
+    for (const Interval& interval :
+         tracer.timeline(RankId{static_cast<std::uint32_t>(r)})) {
+      os << "1:" << cpu << ":1:" << (r + 1) << ":1:" << ticks(interval.begin)
+         << ':' << ticks(interval.end) << ':'
          << prv_state_code(interval.state) << '\n';
     }
   }

@@ -7,7 +7,9 @@
 // emitted, which is what the paper's figures show.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "trace/tracer.hpp"
 
@@ -20,6 +22,14 @@ namespace smtbal::trace {
 /// Serialises the trace as a .prv document. `time_unit` scales SimTime
 /// seconds into integer trace ticks (default: microseconds).
 [[nodiscard]] std::string to_prv(const Tracer& tracer,
+                                 double ticks_per_second = 1e6);
+
+/// Cluster variant: emits a resource model with one PARAVER node per
+/// simulated node (CPU counts from the rank distribution) and maps each
+/// rank's task onto its hosting node. `node_of_rank` gives the node per
+/// rank, as carried by cluster::ClusterRunResult.
+[[nodiscard]] std::string to_prv(const Tracer& tracer,
+                                 const std::vector<std::uint32_t>& node_of_rank,
                                  double ticks_per_second = 1e6);
 
 }  // namespace smtbal::trace

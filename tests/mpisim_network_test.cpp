@@ -1,5 +1,10 @@
 #include "mpisim/network.hpp"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -29,6 +34,48 @@ TEST(Network, RejectsBadConfig) {
   EXPECT_THROW(Network(NetworkConfig{.base_latency = -1.0}), InvalidArgument);
   EXPECT_THROW(Network(NetworkConfig{.bandwidth_bytes_per_s = 0.0}),
                InvalidArgument);
+}
+
+TEST(Network, RejectsNonFiniteConfig) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Network(NetworkConfig{.base_latency = nan}), InvalidArgument);
+  EXPECT_THROW(Network(NetworkConfig{.base_latency = inf}), InvalidArgument);
+  EXPECT_THROW(Network(NetworkConfig{.bandwidth_bytes_per_s = nan}),
+               InvalidArgument);
+  EXPECT_THROW(Network(NetworkConfig{.bandwidth_bytes_per_s = inf}),
+               InvalidArgument);
+  EXPECT_THROW(Network(NetworkConfig{.bandwidth_bytes_per_s = -5.0}),
+               InvalidArgument);
+}
+
+TEST(Network, ValidationErrorsNameTheFieldAndValue) {
+  try {
+    Network network(NetworkConfig{.bandwidth_bytes_per_s = -5.0});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bandwidth_bytes_per_s"), std::string::npos) << what;
+    EXPECT_NE(what.find("-5"), std::string::npos) << what;
+  }
+}
+
+TEST(Network, HugePayloadStaysFiniteAndOrdered) {
+  Network network{NetworkConfig{}};
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  const SimTime arrival = network.arrival_time(0.0, huge);
+  EXPECT_TRUE(std::isfinite(arrival));
+  EXPECT_GT(arrival, network.arrival_time(0.0, huge / 2));
+}
+
+TEST(Network, BackToBackSendsDoNotContend) {
+  // The intra-node path models a shared-memory copy: it is stateless, so
+  // repeated sends at one instant all arrive together (contention is an
+  // interconnect property, tested in cluster_test.cpp).
+  Network network{NetworkConfig{}};
+  const SimTime first = network.arrival_time(1.0, 4096);
+  EXPECT_DOUBLE_EQ(network.arrival_time(1.0, 4096), first);
+  EXPECT_DOUBLE_EQ(network.arrival_time(1.0, 4096), first);
 }
 
 }  // namespace

@@ -56,6 +56,43 @@ TEST(ChipLoad, KeyStableForEqualLoads) {
   EXPECT_EQ(a.key(), b.key());
 }
 
+TEST(ChipLoad, KeyUsesTailContexts) {
+  // The key hashes the engaged prefix; loads differing only in a context
+  // near the kMaxContexts bound must still get distinct keys.
+  ChipLoad a, b;
+  a.contexts[kMaxContexts - 1] =
+      ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  b.contexts[kMaxContexts - 1] =
+      ContextLoad{kid(isa::kKernelCfd), HwPriority::kMedium};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), ChipLoad{}.key());
+}
+
+TEST(Sampler, AcceptsChipsUpToMaxContexts) {
+  // 24 cores x 2 threads = 48 contexts: legal since the bound was lifted
+  // from 16 to 64 (construction only; sampling a chip this wide is slow).
+  ChipConfig wide;
+  wide.num_cores = 24;
+  wide.memory.num_cores = 24;
+  ThroughputSampler sampler(wide, fast_options());
+  EXPECT_EQ(wide.num_contexts(), 48u);
+}
+
+TEST(Sampler, RejectsChipsBeyondMaxContextsWithContext) {
+  ChipConfig too_wide;
+  too_wide.num_cores = 33;  // 66 contexts > 64
+  too_wide.memory.num_cores = 33;
+  try {
+    ThroughputSampler sampler(too_wide, fast_options());
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("66"), std::string::npos) << what;
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+    EXPECT_NE(what.find("kMaxContexts"), std::string::npos) << what;
+  }
+}
+
 TEST(Sampler, MemoisesRepeatedLoads) {
   ThroughputSampler sampler(ChipConfig{}, fast_options());
   ChipLoad load;
