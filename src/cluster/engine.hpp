@@ -99,6 +99,11 @@ class ClusterEngine final : public mpisim::EngineControl {
     return placement_.node_of_rank;
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  /// The live link-contention state (read-only) — lets invariant checkers
+  /// watch per-link busy-until monotonicity across a run.
+  [[nodiscard]] const Interconnect& interconnect() const {
+    return interconnect_;
+  }
 
  private:
   mpisim::Application app_;

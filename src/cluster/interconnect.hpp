@@ -72,6 +72,14 @@ class Interconnect {
   [[nodiscard]] const InterconnectConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
 
+  /// Free-time of every directed link (kFullMesh: link src*N+dst; kStar:
+  /// uplink of node i = i, downlink of node i = N+i). Read-only window for
+  /// invariant checks and property tests: each entry is non-decreasing
+  /// over a run, since a transfer can only push a link's free time out.
+  [[nodiscard]] const std::vector<SimTime>& link_busy_until() const {
+    return busy_until_;
+  }
+
  private:
   [[nodiscard]] SimTime serialization(std::uint64_t bytes) const;
   /// Occupies `link` for one serialisation starting no earlier than `t`;

@@ -1,0 +1,79 @@
+// Runtime-invariant audit surface of the simulation core.
+//
+// Observers normally see the simulation only through the event/interval
+// notifications on the ObserverBus. Invariant checkers (simcheck) need
+// more: a consistent snapshot of the internal state *between* events —
+// rank run-states, blocking times, integration segments, the collective
+// arrival counter, per-context effective priorities — to assert the
+// relations the event kernel is supposed to preserve. AuditSource is that
+// read-only window: the Sim hands itself to interested observers through
+// SimObserver::on_bind at the start of run(), and a checker pulls a fresh
+// InvariantAudit snapshot whenever it wants to verify one.
+//
+// The snapshot is filled into a caller-owned buffer (vectors are resized,
+// not reallocated per call) because checkers sample after every event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mpisim/rank_state.hpp"
+#include "smt/priority.hpp"
+
+namespace smtbal::smt {
+struct ChipConfig;
+}  // namespace smtbal::smt
+
+namespace smtbal::mpisim {
+
+/// Per-rank slice of the audit snapshot.
+struct RankAudit {
+  RunState state = RunState::kComputing;
+  /// Blocking condition: barrier release / waitall completion time
+  /// (kSimInf while unknown).
+  SimTime ready_at = kSimInf;
+  /// Compute integration segment as of the snapshot.
+  double remaining = 0.0;
+  double rate = 0.0;
+  /// Whether a completion prediction for the current segment is queued.
+  bool predicted = false;
+};
+
+/// Per-node slice of the audit snapshot.
+struct NodeAudit {
+  /// The node's chip configuration (owned by the engine, outlives the run).
+  const smt::ChipConfig* chip = nullptr;
+  /// First global context index of this node.
+  std::uint32_t ctx_base = 0;
+  /// Effective hardware priority of every context (slot order, one entry
+  /// per context of `chip`). Contexts whose process exited report kOff;
+  /// never-occupied contexts keep the kernel's spawn default.
+  std::vector<smt::HwPriority> priorities;
+  /// Whether a process occupies the context (spawned and not exited).
+  std::vector<std::uint8_t> engaged;
+};
+
+/// A consistent snapshot of the event kernel's state between events.
+struct InvariantAudit {
+  SimTime now = 0.0;
+  std::size_t queue_size = 0;
+  std::size_t ranks_done = 0;
+  /// Arrival count of the in-progress global collective (resets to 0 when
+  /// the last participant arrives).
+  std::size_t collective_arrived = 0;
+  std::vector<RankAudit> ranks;
+  std::vector<NodeAudit> nodes;
+};
+
+/// Implemented by the simulation core; handed to observers via on_bind.
+/// Read-only: filling a snapshot must not perturb the simulation.
+class AuditSource {
+ public:
+  virtual ~AuditSource() = default;
+
+  /// Fills `out` with the current state (resizing its buffers as needed).
+  virtual void invariant_audit(InvariantAudit& out) const = 0;
+};
+
+}  // namespace smtbal::mpisim

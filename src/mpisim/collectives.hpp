@@ -46,6 +46,11 @@ class Collectives {
     return true;
   }
 
+  /// Arrival count of the in-progress collective. Conservation invariant
+  /// (checked by simcheck): equals the number of ranks sitting at a
+  /// collective whose release time is still unknown.
+  [[nodiscard]] std::size_t arrived() const { return barrier_arrived_; }
+
   /// Releases every rank sitting at a collective whose release time is
   /// due (`ready_at <= now + eps`), in rank order, re-entrant safe: a
   /// release cascade that arrives at — and completes — a further

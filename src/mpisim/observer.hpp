@@ -18,9 +18,17 @@
 
 namespace smtbal::mpisim {
 
+class AuditSource;
+
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
+
+  /// The simulation core offers its audit window (audit.hpp) when the
+  /// event loop starts, before any event notification. `audit` stays
+  /// valid until on_finish; observers that do not check invariants
+  /// ignore it.
+  virtual void on_bind(const AuditSource* audit) { (void)audit; }
 
   /// The run is about to start (processes spawned, time 0).
   virtual void on_start(std::size_t num_ranks) { (void)num_ranks; }
@@ -54,6 +62,9 @@ class ObserverBus {
  public:
   void attach(SimObserver* observer) { observers_.push_back(observer); }
 
+  void notify_bind(const AuditSource* audit) {
+    for (SimObserver* o : observers_) o->on_bind(audit);
+  }
   void notify_start(std::size_t num_ranks) {
     for (SimObserver* o : observers_) o->on_start(num_ranks);
   }

@@ -79,6 +79,38 @@ void Sim::notify_priority_change(RankId rank, int from, int to) {
   bus_.notify_priority_change(rank, from, to, now_);
 }
 
+void Sim::invariant_audit(InvariantAudit& out) const {
+  out.now = now_;
+  out.queue_size = queue_.size();
+  out.ranks_done = done_count_;
+  out.collective_arrived = collectives_.arrived();
+  out.ranks.resize(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankRt& rt = ranks_[r];
+    RankAudit& audit = out.ranks[r];
+    audit.state = rt.state;
+    audit.ready_at = rt.ready_at;
+    audit.remaining = rt.remaining;
+    audit.rate = rt.rate;
+    audit.predicted = rt.pred_valid;
+  }
+  out.nodes.resize(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeRt& node = nodes_[n];
+    NodeAudit& audit = out.nodes[n];
+    audit.chip = node.ctx.chip;
+    audit.ctx_base = node.ctx_base;
+    const std::uint32_t contexts = node.ctx.chip->num_contexts();
+    audit.priorities.resize(contexts);
+    audit.engaged.resize(contexts);
+    for (std::uint32_t ctx = 0; ctx < contexts; ++ctx) {
+      const CpuId cpu = node.ctx.chip->cpu(ctx);
+      audit.priorities[ctx] = node.ctx.kernel->effective_priority(cpu);
+      audit.engaged[ctx] = node.ctx.kernel->process_on(cpu).has_value();
+    }
+  }
+}
+
 void Sim::set_trace(std::size_t rank, trace::RankState state) {
   RankRt& rt = ranks_[rank];
   if (rt.shown == state) return;
@@ -513,6 +545,7 @@ void Sim::deadlock() const {
 }
 
 RunStats Sim::run() {
+  bus_.notify_bind(this);
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     if (ranks_[r].state != RunState::kDone) advance_rank(r);
   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "mpisim/audit.hpp"
 #include "mpisim/collectives.hpp"
 #include "mpisim/engine.hpp"
 #include "mpisim/event_queue.hpp"
@@ -98,7 +99,7 @@ struct RunStats {
 /// popped in (time, seq) order. A prediction invalidated by a rate change
 /// or preemption is not searched for in the heap; the rank's generation
 /// counter is bumped and the stale entry is discarded when it surfaces.
-class Sim final : public CollectiveClient {
+class Sim final : public CollectiveClient, public AuditSource {
  public:
   /// `placement` holds each rank's within-node CPU; `node_of_rank` names
   /// the node (index into `nodes`) hosting it. `config` supplies the
@@ -117,6 +118,10 @@ class Sim final : public CollectiveClient {
   /// publish the change (the next refresh_rates() re-derives the affected
   /// rates).
   void notify_priority_change(RankId rank, int from, int to);
+
+  /// AuditSource: snapshots the kernel state for invariant checkers
+  /// (offered to observers via notify_bind at the start of run()).
+  void invariant_audit(InvariantAudit& out) const override;
 
  private:
   /// Per-node runtime: the caller's context plus the node's position in

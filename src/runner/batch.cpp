@@ -1,7 +1,9 @@
 #include "runner/batch.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -21,6 +23,8 @@ struct SamplerDomain {
   std::shared_ptr<smt::SampleCache> cache;  ///< nullptr when sharing is off
 };
 
+}  // namespace
+
 unsigned resolve_jobs(unsigned requested, std::size_t num_items) {
   unsigned jobs = requested != 0 ? requested : std::thread::hardware_concurrency();
   jobs = std::max(jobs, 1u);
@@ -28,10 +32,6 @@ unsigned resolve_jobs(unsigned requested, std::size_t num_items) {
   return jobs;
 }
 
-/// Runs fn(item, worker) for every item in [0, num_items) on `jobs`
-/// threads. Items are distributed round-robin; an idle worker steals from
-/// the back of its neighbours' deques. `fn` must not throw — per-item
-/// errors are the caller's to capture.
 void parallel_for_stealing(unsigned jobs, std::size_t num_items,
                            const std::function<void(std::size_t, unsigned)>& fn) {
   if (num_items == 0) return;
@@ -84,8 +84,6 @@ void parallel_for_stealing(unsigned jobs, std::size_t num_items,
   for (unsigned w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
   for (std::thread& t : threads) t.join();
 }
-
-}  // namespace
 
 BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
   const unsigned jobs = resolve_jobs(options_.jobs, specs.size());
@@ -199,6 +197,28 @@ std::vector<smt::SampleResult> BatchRunner::sample(
   return results;
 }
 
+unsigned parse_jobs(const std::string& value) {
+  // std::stoul would accept leading whitespace, a sign, and trailing
+  // garbage ("4x" -> 4), and collapse out-of-range values into the same
+  // generic error as non-numeric input. from_chars over the full string
+  // rejects all of those, and lets the two failure modes carry distinct
+  // messages.
+  unsigned jobs = 0;
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, jobs);
+  if (ec == std::errc::result_out_of_range) {
+    throw InvalidArgument("--jobs value out of range (max " +
+                          std::to_string(std::numeric_limits<unsigned>::max()) +
+                          "), got '" + value + "'");
+  }
+  if (ec != std::errc{} || ptr != last) {
+    throw InvalidArgument("--jobs expects a non-negative integer, got '" +
+                          value + "'");
+  }
+  return jobs;
+}
+
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions cli;
   auto value_of = [&](const std::string& arg, const std::string& flag,
@@ -212,13 +232,7 @@ CliOptions parse_cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
-      const std::string value = value_of(arg, "--jobs", i);
-      try {
-        cli.jobs = static_cast<unsigned>(std::stoul(value));
-      } catch (const std::exception&) {
-        throw InvalidArgument("--jobs expects a non-negative integer, got '" +
-                              value + "'");
-      }
+      cli.jobs = parse_jobs(value_of(arg, "--jobs", i));
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       cli.json_path = value_of(arg, "--json", i);
       SMTBAL_REQUIRE(!cli.json_path.empty(), "--json needs a file path");

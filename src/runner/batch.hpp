@@ -120,4 +120,24 @@ struct CliOptions {
 /// Throws InvalidArgument on a malformed flag.
 [[nodiscard]] CliOptions parse_cli(int argc, char** argv);
 
+/// Parses a `--jobs` value: the full string must be a base-10 unsigned
+/// integer (no sign, no whitespace, no trailing garbage). Throws
+/// InvalidArgument with distinct messages for non-numeric input and for
+/// values that do not fit an `unsigned`.
+[[nodiscard]] unsigned parse_jobs(const std::string& value);
+
+/// Resolves a requested worker count against an item count: 0 means all
+/// host cores, and the result is clamped to [1, num_items] (at least one
+/// worker even for an empty batch).
+[[nodiscard]] unsigned resolve_jobs(unsigned requested, std::size_t num_items);
+
+/// Runs fn(item, worker) for every item in [0, num_items) on `jobs`
+/// threads with work stealing (the scheduling loop behind BatchRunner,
+/// exposed for other embarrassingly parallel drivers such as
+/// simcheck's fuzz batches). Items are distributed round-robin; an idle
+/// worker steals from the back of its neighbours' deques. `fn` must not
+/// throw — per-item errors are the caller's to capture.
+void parallel_for_stealing(unsigned jobs, std::size_t num_items,
+                           const std::function<void(std::size_t, unsigned)>& fn);
+
 }  // namespace smtbal::runner

@@ -1,0 +1,60 @@
+// Differential checks and the failing-case shrinker.
+//
+// Two differentials, both demanding *bit-identical* observables (exact
+// double equality — the compared pipelines must perform the same
+// floating-point operations in the same order, so any deviation is a
+// scheduling or caching bug, not roundoff):
+//
+//   * engine vs oracle — the production event-heap engine against the
+//     naive straight-line oracle (oracle.hpp), single-node scenarios;
+//   * flat vs cluster(M=1) — the flat engine against a one-node cluster
+//     wrapping the identical scenario, which must take the same path
+//     through the simulation core.
+//
+// check_spec() runs every differential applicable to a spec with the
+// invariant checker attached (multi-node specs run under the invariant
+// checker alone, including per-link interconnect monotonicity) and
+// returns the first discrepancy as a printable message. shrink_spec()
+// greedily minimises a failing spec one shape dimension at a time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cluster/engine.hpp"
+#include "mpisim/engine.hpp"
+#include "simcheck/oracle.hpp"
+#include "simcheck/scenario.hpp"
+
+namespace smtbal::simcheck {
+
+/// First difference between the engine's result and the oracle's, or
+/// nullopt when every compared observable (exec time, trace timelines,
+/// metrics, event counts, imbalance, priority resets) is identical.
+/// Sampler statistics are not compared (the oracle never memoises).
+[[nodiscard]] std::optional<std::string> diff_engine_vs_oracle(
+    const mpisim::RunResult& engine, const OracleResult& oracle);
+
+/// First difference between a flat run and a cluster(M=1) run of the
+/// same scenario. Compares the same observables as the oracle diff.
+[[nodiscard]] std::optional<std::string> diff_flat_vs_cluster(
+    const mpisim::RunResult& flat, const cluster::ClusterRunResult& clustered);
+
+/// Builds and runs the full battery for one spec: single-node specs run
+/// engine-vs-oracle and flat-vs-cluster(M=1); multi-node specs run the
+/// cluster engine under the invariant checker (with interconnect
+/// watching). Invariant violations and unexpected exceptions are
+/// reported as failures. nullopt = the spec passes.
+[[nodiscard]] std::optional<std::string> check_spec(const ScenarioSpec& spec);
+
+/// Greedy shrink: repeatedly tries shape-reducing mutations (fewer
+/// blocks, fewer ranks, one node, toggles off, narrower SMT) and keeps
+/// any for which `still_fails` holds, until no mutation helps or the
+/// attempt budget is exhausted. Returns the (sanitized) minimal spec.
+[[nodiscard]] ScenarioSpec shrink_spec(
+    ScenarioSpec spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails,
+    std::size_t max_attempts = 200);
+
+}  // namespace smtbal::simcheck

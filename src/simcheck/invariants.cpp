@@ -1,0 +1,399 @@
+#include "simcheck/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mpisim/rank_state.hpp"
+#include "smt/chip.hpp"
+
+namespace smtbal::simcheck {
+
+namespace {
+
+// Asserts one invariant: counts the check, and on failure builds the
+// message (stream expression, evaluated only when failing) and records it.
+#define SC_EXPECT(cond, streamed)         \
+  do {                                    \
+    ++stats_.checks;                      \
+    if (!(cond)) {                        \
+      std::ostringstream os_;             \
+      os_ << streamed;                    \
+      fail(os_.str());                    \
+    }                                     \
+  } while (false)
+
+[[nodiscard]] std::uint32_t weight_for(int level, int p_min) {
+  return (1u << (level - p_min + 1)) - 1u;
+}
+
+}  // namespace
+
+std::optional<std::string> check_decode_schedule(
+    const smt::DecodeSchedule& schedule,
+    std::span<const smt::HwPriority> priorities) {
+  const std::size_t n = priorities.size();
+  const auto violation = [](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return std::optional<std::string>(os.str());
+  };
+
+  if (n < 1 || n > 64) return violation("priority vector size ", n);
+  if (schedule.slots.size() != n || schedule.runs.size() != n ||
+      schedule.leftover_only.size() != n) {
+    return violation("per-context vectors sized for ", schedule.slots.size(),
+                     " contexts, expected ", n);
+  }
+  if (schedule.slice_cycles < 1) return violation("empty decode slice");
+  if (schedule.owner_of_pos.size() != schedule.slice_cycles) {
+    return violation("owner table has ", schedule.owner_of_pos.size(),
+                     " positions for a slice of ", schedule.slice_cycles);
+  }
+
+  // Classify contexts straight from Table I semantics: 0 = shut off,
+  // 1 = VERY-LOW (leftover rule), > 1 = owns decode cycles.
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> very_low;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int l = smt::level(priorities[i]);
+    const bool expect_runs = l > 0;
+    if (static_cast<bool>(schedule.runs[i]) != expect_runs) {
+      return violation("context ", i, " at priority ", l, " has runs=",
+                       int{schedule.runs[i]});
+    }
+    if (l > 1) active.push_back(i);
+    if (l == 1) very_low.push_back(i);
+  }
+
+  // Build the expected slice independently and compare field by field.
+  std::uint32_t expect_slice = 1;
+  std::vector<std::uint32_t> expect_slots(n, 0);
+  std::vector<std::uint8_t> expect_leftover(n, 0);
+  std::vector<std::int32_t> expect_owner;
+
+  if (!active.empty()) {
+    // Table II, weighted for N contexts: with p_min the lowest
+    // cycle-owning priority present, context i owns
+    // w_i = 2^(p_i - p_min + 1) - 1 cycles, laid out as contiguous runs
+    // in ascending (priority, slot) order; VERY-LOW contexts own nothing
+    // and take leftovers (Table III).
+    int p_min = 8;
+    for (const std::size_t i : active) {
+      p_min = std::min(p_min, smt::level(priorities[i]));
+    }
+    std::vector<std::size_t> order = active;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return smt::level(priorities[a]) <
+                              smt::level(priorities[b]);
+                     });
+    expect_slice = 0;
+    for (const std::size_t i : order) {
+      expect_slice += weight_for(smt::level(priorities[i]), p_min);
+    }
+    expect_owner.assign(expect_slice, -1);
+    std::uint32_t pos = 0;
+    for (const std::size_t i : order) {
+      const std::uint32_t w = weight_for(smt::level(priorities[i]), p_min);
+      expect_slots[i] = w;
+      for (std::uint32_t c = 0; c < w; ++c) {
+        expect_owner[pos++] = static_cast<std::int32_t>(i);
+      }
+    }
+    for (const std::size_t i : very_low) expect_leftover[i] = 1;
+
+    // Cross-check the N = 2 case against Table II verbatim: a pair at
+    // priorities X, Y > 1 shares a slice of R = 2^(|X-Y|+1) cycles, the
+    // lower-priority thread owning 1 and the other R - 1.
+    if (n == 2 && active.size() == 2) {
+      const int x = smt::level(priorities[0]);
+      const int y = smt::level(priorities[1]);
+      const std::uint32_t r = 1u << (std::abs(x - y) + 1);
+      const std::uint32_t lo = x == y ? r / 2 : 1;
+      if (expect_slice != r || expect_slots[x <= y ? 0 : 1] != lo) {
+        return violation("internal: weighted layout disagrees with Table II",
+                         " for priorities (", x, ",", y, ")");
+      }
+    }
+  } else if (!very_low.empty()) {
+    // Table III power-save: every running context is VERY-LOW. One
+    // runner decodes 1 of 32 cycles; k >= 2 runners decode 1 of 64 each,
+    // spread evenly.
+    if (very_low.size() == 1) {
+      expect_slice = 32;
+      expect_owner.assign(32, -1);
+      expect_owner[0] = static_cast<std::int32_t>(very_low[0]);
+      expect_slots[very_low[0]] = 1;
+    } else {
+      expect_slice = 64;
+      expect_owner.assign(64, -1);
+      const std::uint32_t stride =
+          64u / static_cast<std::uint32_t>(very_low.size());
+      for (std::size_t j = 0; j < very_low.size(); ++j) {
+        expect_owner[j * stride] = static_cast<std::int32_t>(very_low[j]);
+        expect_slots[very_low[j]] = 1;
+      }
+    }
+  } else {
+    // All contexts shut off: a 1-cycle slice nobody owns.
+    expect_owner.assign(1, -1);
+  }
+
+  if (schedule.slice_cycles != expect_slice) {
+    return violation("slice of ", schedule.slice_cycles, " cycles, expected ",
+                     expect_slice);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (schedule.slots[i] != expect_slots[i]) {
+      return violation("context ", i, " owns ", schedule.slots[i],
+                       " cycles, expected ", expect_slots[i]);
+    }
+    if (schedule.leftover_only[i] != expect_leftover[i]) {
+      return violation("context ", i, " leftover_only=",
+                       int{schedule.leftover_only[i]}, ", expected ",
+                       int{expect_leftover[i]});
+    }
+  }
+  for (std::uint32_t p = 0; p < expect_slice; ++p) {
+    if (schedule.owner_of_pos[p] != expect_owner[p]) {
+      return violation("cycle ", p, " owned by ", schedule.owner_of_pos[p],
+                       ", expected ", expect_owner[p]);
+    }
+  }
+  return std::nullopt;
+}
+
+void InvariantObserver::watch_interconnect(const cluster::Interconnect* inter) {
+  interconnect_ = inter;
+  link_busy_.clear();
+}
+
+void InvariantObserver::on_bind(const mpisim::AuditSource* audit) {
+  source_ = audit;
+}
+
+void InvariantObserver::on_start(std::size_t num_ranks) {
+  num_ranks_ = num_ranks;
+  interval_end_.assign(num_ranks, 0.0);
+  last_now_ = 0.0;
+  last_epoch_ = 0;
+  finished_ = false;
+}
+
+void InvariantObserver::on_event(const mpisim::Event& event) {
+  ++stats_.events;
+  SC_EXPECT(std::isfinite(event.time) && event.time >= 0.0,
+            "event " << to_string(event.kind) << " at non-finite time "
+                     << event.time);
+  SC_EXPECT(static_cast<std::size_t>(event.kind) < mpisim::kNumEventKinds,
+            "event kind " << static_cast<int>(event.kind) << " out of range");
+  switch (event.kind) {
+    case mpisim::EventKind::kComputeDone:
+    case mpisim::EventKind::kDelayDone:
+    case mpisim::EventKind::kPriorityChange:
+      SC_EXPECT(event.subject < num_ranks_,
+                to_string(event.kind) << " subject rank " << event.subject
+                                      << " out of range");
+      break;
+    case mpisim::EventKind::kMsgArrival:
+      SC_EXPECT(event.msg.dst < num_ranks_ && event.msg.src < num_ranks_,
+                "message " << event.msg.src << "->" << event.msg.dst
+                           << " names a rank out of range");
+      break;
+    default:
+      break;
+  }
+  audit_now(&event);
+}
+
+void InvariantObserver::on_interval(RankId rank, SimTime begin, SimTime end,
+                                    trace::RankState state) {
+  const auto r = static_cast<std::size_t>(rank.value());
+  SC_EXPECT(r < num_ranks_, "interval for rank " << rank.value()
+                                                 << " out of range");
+  if (r >= num_ranks_) return;
+  SC_EXPECT(std::isfinite(begin) && std::isfinite(end) && end > begin,
+            "rank " << rank.value() << " interval [" << begin << ", " << end
+                    << ") " << trace::to_string(state)
+                    << " is empty or non-finite");
+  // The trace of one rank tiles time: each interval starts exactly where
+  // the previous one ended (the simulation core carries state_since
+  // forward through zero-length state flips).
+  SC_EXPECT(begin == interval_end_[r],
+            "rank " << rank.value() << " interval starts at " << begin
+                    << " but the previous one ended at " << interval_end_[r]);
+  interval_end_[r] = end;
+}
+
+void InvariantObserver::on_priority_change(RankId rank, int from, int to,
+                                           SimTime now) {
+  // May arrive before on_bind: static policies apply priorities during
+  // engine start-up, before the event loop exists (now = 0).
+  SC_EXPECT(from != to, "rank " << rank.value()
+                                << " priority 'change' to the same level "
+                                << from);
+  SC_EXPECT(from >= 0 && from <= 7 && to >= 0 && to <= 7,
+            "rank " << rank.value() << " priority change " << from << " -> "
+                    << to << " outside the 0..7 hardware range");
+  SC_EXPECT(std::isfinite(now) && now >= 0.0,
+            "priority change at non-finite time " << now);
+}
+
+void InvariantObserver::on_epoch(const mpisim::EpochReport& report) {
+  SC_EXPECT(report.epoch == last_epoch_ + 1,
+            "epoch " << report.epoch << " follows epoch " << last_epoch_);
+  last_epoch_ = report.epoch;
+  SC_EXPECT(std::isfinite(report.now) && report.now >= 0.0,
+            "epoch boundary at non-finite time " << report.now);
+  SC_EXPECT(report.ranks.size() == num_ranks_,
+            "epoch report covers " << report.ranks.size() << " of "
+                                   << num_ranks_ << " ranks");
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const mpisim::RankEpochStats& stats = report.ranks[r];
+    SC_EXPECT(std::isfinite(stats.compute) && stats.compute >= 0.0 &&
+                  std::isfinite(stats.wait) && stats.wait >= 0.0,
+              "epoch " << report.epoch << " rank " << r
+                       << " has negative or non-finite accumulators");
+  }
+}
+
+void InvariantObserver::on_finish(SimTime end_time) {
+  SC_EXPECT(std::isfinite(end_time) && end_time >= 0.0,
+            "run finished at non-finite time " << end_time);
+  if (source_ != nullptr) {
+    source_->invariant_audit(audit_);
+    SC_EXPECT(audit_.ranks_done == audit_.ranks.size(),
+              "run finished with " << audit_.ranks_done << " of "
+                                   << audit_.ranks.size() << " ranks done");
+  }
+  finished_ = true;
+}
+
+void InvariantObserver::fail(std::string message) {
+  ++stats_.violations;
+  if (violations_.size() < options_.max_recorded) {
+    violations_.push_back(message);
+  }
+  if (options_.throw_on_violation) {
+    throw SimulationError("invariant violated: " + std::move(message));
+  }
+}
+
+void InvariantObserver::audit_now(const mpisim::Event* event) {
+  if (source_ == nullptr) return;
+  source_->invariant_audit(audit_);
+  SC_EXPECT(std::isfinite(audit_.now) && audit_.now >= last_now_,
+            "clock ran backwards: " << audit_.now << " after " << last_now_);
+  if (event != nullptr) {
+    // run() folds the popped time into the clock before notifying, and
+    // meta events are synthesized at the clock, so every published event
+    // time is bounded by the audited now.
+    SC_EXPECT(event->time <= audit_.now,
+              to_string(event->kind) << " at " << event->time
+                                     << " published after the clock reached "
+                                     << audit_.now);
+  }
+  last_now_ = audit_.now;
+  check_ranks(audit_);
+  check_decode(audit_);
+  check_interconnect();
+}
+
+void InvariantObserver::check_ranks(const mpisim::InvariantAudit& audit) {
+  std::size_t done = 0;
+  std::size_t waiting_unreleased = 0;
+  for (std::size_t r = 0; r < audit.ranks.size(); ++r) {
+    const mpisim::RankAudit& rank = audit.ranks[r];
+    SC_EXPECT(std::isfinite(rank.remaining) && std::isfinite(rank.rate) &&
+                  rank.rate >= 0.0,
+              "rank " << r << " integration segment remaining="
+                      << rank.remaining << " rate=" << rank.rate);
+    SC_EXPECT(!std::isnan(rank.ready_at),
+              "rank " << r << " blocking time is NaN");
+    if (rank.state == mpisim::RunState::kDone) ++done;
+    if (rank.state == mpisim::RunState::kAtBarrier &&
+        rank.ready_at == mpisim::kSimInf) {
+      ++waiting_unreleased;
+    }
+    SC_EXPECT(!rank.predicted || rank.state == mpisim::RunState::kComputing,
+              "rank " << r << " in state " << mpisim::to_string(rank.state)
+                      << " holds a compute prediction");
+  }
+  SC_EXPECT(done == audit.ranks_done,
+            audit.ranks_done << " ranks counted done but " << done
+                             << " are in state kDone");
+  // Conservation of collective arrivals: the counter equals the number of
+  // ranks parked at the barrier whose release time is still unknown (the
+  // last arriver assigns every release and resets the counter).
+  SC_EXPECT(audit.collective_arrived == waiting_unreleased,
+            audit.collective_arrived
+                << " collective arrivals recorded but " << waiting_unreleased
+                << " ranks are at an unreleased barrier");
+}
+
+void InvariantObserver::check_decode(const mpisim::InvariantAudit& audit) {
+  for (std::size_t n = 0; n < audit.nodes.size(); ++n) {
+    const mpisim::NodeAudit& node = audit.nodes[n];
+    const std::uint32_t contexts = node.chip->num_contexts();
+    SC_EXPECT(node.priorities.size() == contexts &&
+                  node.engaged.size() == contexts,
+              "node " << n << " audit covers " << node.priorities.size()
+                      << " of " << contexts << " contexts");
+    decode_buf_.resize(contexts);
+    for (std::uint32_t c = 0; c < contexts; ++c) {
+      // A context with no process is either still at the spawn default
+      // (never occupied) or parked at OFF by the idle loop after its
+      // process exited; anything else means a priority write leaked.
+      SC_EXPECT(node.engaged[c] != 0 ||
+                    node.priorities[c] == smt::HwPriority::kOff ||
+                    node.priorities[c] == smt::kDefaultPriority,
+                "node " << n << " context " << c
+                        << " is idle but reports priority "
+                        << smt::level(node.priorities[c]));
+      SC_EXPECT(node.engaged[c] == 0 ||
+                    node.priorities[c] != smt::HwPriority::kOff,
+                "node " << n << " context " << c
+                        << " runs a process at priority OFF");
+      // The chip schedules idle contexts as OFF whatever the kernel's
+      // bookkeeping says; check the decode rules over that view.
+      decode_buf_[c] = node.engaged[c] != 0 ? node.priorities[c]
+                                            : smt::HwPriority::kOff;
+    }
+    // Rebuild each core's decode slice from the effective priorities and
+    // hold it against the independent Table II/III restatement.
+    const std::uint32_t tpc = node.chip->threads_per_core();
+    for (std::uint32_t core = 0; core < node.chip->num_cores; ++core) {
+      const std::span<const smt::HwPriority> slots(
+          decode_buf_.data() + core * tpc, tpc);
+      const smt::DecodeSchedule schedule = smt::decode_schedule(slots);
+      ++stats_.checks;
+      if (const auto error = check_decode_schedule(schedule, slots)) {
+        std::ostringstream os;
+        os << "node " << n << " core " << core << " decode schedule: "
+           << *error;
+        fail(os.str());
+      }
+    }
+  }
+}
+
+void InvariantObserver::check_interconnect() {
+  if (interconnect_ == nullptr) return;
+  const std::vector<SimTime>& busy = interconnect_->link_busy_until();
+  if (link_busy_.size() != busy.size()) {
+    link_busy_ = busy;  // first observation of this wiring
+    return;
+  }
+  for (std::size_t l = 0; l < busy.size(); ++l) {
+    SC_EXPECT(std::isfinite(busy[l]) && busy[l] >= link_busy_[l],
+              "interconnect link " << l << " busy-until moved from "
+                                   << link_busy_[l] << " back to " << busy[l]);
+  }
+  link_busy_ = busy;
+}
+
+}  // namespace smtbal::simcheck

@@ -1,0 +1,121 @@
+// Runtime invariant checker for the simulation core.
+//
+// InvariantObserver plugs into the engine's ObserverBus and, after every
+// event, pulls an InvariantAudit snapshot (mpisim/audit.hpp) and asserts
+// the relations the event kernel must preserve:
+//
+//   * time is monotone — the simulation clock never runs backwards, every
+//     published timestamp is finite, and no rank state carries a NaN;
+//   * decode schedules are lawful — for every core of every node, the
+//     schedule the chip model would build from the current effective
+//     priorities satisfies an *independent* restatement of the paper's
+//     Table II/III rules (check_decode_schedule below). The production
+//     rules live in smt/priority.cpp; this file re-derives the expected
+//     slice layout from the paper's text on its own, so a regression in
+//     either copy makes the two disagree;
+//   * collective arrivals are conserved — the arrival counter equals the
+//     number of ranks parked at a collective whose release time is still
+//     unknown;
+//   * trace intervals are well-formed — per rank: positive length,
+//     adjacent, non-overlapping, finite;
+//   * epochs only move forward, and the run finishes with every rank done.
+//
+// Optionally the observer also watches a cluster::Interconnect and checks
+// that every directed link's busy-until time is non-decreasing.
+//
+// A violation is recorded (up to Options.max_recorded) and, when
+// Options.throw_on_violation is set (the default), raised as a
+// SimulationError so a fuzz run fails loudly at the first broken
+// invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/interconnect.hpp"
+#include "mpisim/audit.hpp"
+#include "mpisim/observer.hpp"
+#include "smt/priority.hpp"
+
+namespace smtbal::simcheck {
+
+/// Checks `schedule` against an independent restatement of the paper's
+/// decode-slicing rules for `priorities` (Table II for pairs above
+/// VERY-LOW, Table III for the special levels, the documented weight
+/// generalization for N > 2). Returns a description of the first
+/// violation, or nullopt when the schedule is lawful. Used both by
+/// InvariantObserver (against the production smt::decode_schedule) and by
+/// tests that mutate a schedule to prove an injected off-by-one is caught.
+[[nodiscard]] std::optional<std::string> check_decode_schedule(
+    const smt::DecodeSchedule& schedule,
+    std::span<const smt::HwPriority> priorities);
+
+struct InvariantStats {
+  std::uint64_t events = 0;      ///< bus notifications audited
+  std::uint64_t checks = 0;      ///< individual invariant assertions run
+  std::uint64_t violations = 0;  ///< assertions that failed
+};
+
+class InvariantObserver final : public mpisim::SimObserver {
+ public:
+  struct Options {
+    /// Raise a SimulationError at the first violation (fuzzing wants the
+    /// failure loud and attributable; set false to collect and inspect).
+    bool throw_on_violation = true;
+    /// Cap on stored violation strings when collecting.
+    std::size_t max_recorded = 16;
+  };
+
+  InvariantObserver() : InvariantObserver(Options()) {}
+  explicit InvariantObserver(Options options) : options_(options) {}
+
+  /// Additionally asserts per-link busy-until monotonicity on `inter`
+  /// after every event (non-owning; must outlive the run; nullptr
+  /// detaches).
+  void watch_interconnect(const cluster::Interconnect* inter);
+
+  // --- SimObserver -----------------------------------------------------------
+  void on_bind(const mpisim::AuditSource* audit) override;
+  void on_start(std::size_t num_ranks) override;
+  void on_event(const mpisim::Event& event) override;
+  void on_interval(RankId rank, SimTime begin, SimTime end,
+                   trace::RankState state) override;
+  void on_priority_change(RankId rank, int from, int to, SimTime now) override;
+  void on_epoch(const mpisim::EpochReport& report) override;
+  void on_finish(SimTime end_time) override;
+
+  [[nodiscard]] const InvariantStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+ private:
+  /// Records (and, in strict mode, throws) a violation.
+  void fail(std::string message);
+  /// One assertion: counts it, and fails with `message` when not `ok`.
+  void expect(bool ok, const std::string& message);
+  /// Pulls a snapshot and runs the full battery.
+  void audit_now(const mpisim::Event* event);
+  void check_ranks(const mpisim::InvariantAudit& audit);
+  void check_decode(const mpisim::InvariantAudit& audit);
+  void check_interconnect();
+
+  Options options_;
+  const mpisim::AuditSource* source_ = nullptr;
+  const cluster::Interconnect* interconnect_ = nullptr;
+  mpisim::InvariantAudit audit_;  ///< reused snapshot buffer
+  std::vector<smt::HwPriority> decode_buf_;  ///< chip view of priorities
+  InvariantStats stats_;
+  std::vector<std::string> violations_;
+  SimTime last_now_ = 0.0;
+  int last_epoch_ = 0;
+  std::size_t num_ranks_ = 0;
+  std::vector<SimTime> interval_end_;   ///< per rank: end of last interval
+  std::vector<SimTime> link_busy_;      ///< previous interconnect snapshot
+  bool finished_ = false;
+};
+
+}  // namespace smtbal::simcheck

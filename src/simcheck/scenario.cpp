@@ -1,0 +1,205 @@
+#include "simcheck/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::simcheck {
+
+namespace {
+
+/// Compute-phase kernel pool. Deliberately excludes the spin kernel: a
+/// compute phase running the spin kernel would leave the chip load key
+/// unchanged when a rank blocks, and the engine's load-key skip then
+/// re-orders simultaneous prediction pushes in a way the oracle does not
+/// model (oracle.hpp, domain restrictions).
+constexpr std::array<std::string_view, 8> kComputePool = {
+    isa::kKernelFpuStress, isa::kKernelIntStress,  isa::kKernelL2Stress,
+    isa::kKernelMemStress, isa::kKernelBranchStress, isa::kKernelHpcMixed,
+    isa::kKernelCfd,       isa::kKernelDft,
+};
+
+isa::KernelId pick_kernel(Rng& rng) {
+  const auto name = kComputePool[rng.below(kComputePool.size())];
+  return isa::KernelRegistry::instance().by_name(name).id;
+}
+
+}  // namespace
+
+ScenarioSpec sanitize_spec(ScenarioSpec spec) {
+  spec.threads_per_core = spec.threads_per_core <= 2 ? 2u : 4u;
+  spec.num_cores = std::clamp(spec.num_cores, 1u, 4u);
+  spec.num_nodes = std::clamp(spec.num_nodes, 1u, 4u);
+  const std::uint32_t seats =
+      spec.num_nodes * spec.num_cores * spec.threads_per_core;
+  spec.num_ranks = std::clamp(spec.num_ranks, 2u, std::max(seats, 2u));
+  spec.num_nodes = std::min(spec.num_nodes, spec.num_ranks);
+  spec.blocks = std::clamp(spec.blocks, 1u, 8u);
+  return spec;
+}
+
+std::string to_string(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << " ranks=" << spec.num_ranks
+     << " nodes=" << spec.num_nodes << " cores=" << spec.num_cores
+     << " smt=" << spec.threads_per_core << " blocks=" << spec.blocks
+     << " flavor=" << (spec.vanilla ? "vanilla" : "patched")
+     << " noise=" << (spec.with_noise ? 1 : 0)
+     << " prios=" << (spec.with_priorities ? 1 : 0)
+     << " cyclic=" << (spec.cyclic_placement ? 1 : 0);
+  return os.str();
+}
+
+ScenarioSpec random_spec(std::uint64_t seed) {
+  // Shape choices come from a stream derived from (seed, salt) so they
+  // are decoupled from build_scenario's detail stream: shrinking a shape
+  // field never re-rolls another.
+  std::uint64_t s = seed ^ 0x5ca1ab1eULL;
+  Rng rng(splitmix64(s));
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.threads_per_core = rng.chance(0.5) ? 2u : 4u;
+  spec.num_cores = static_cast<std::uint32_t>(rng.range(1, 4));
+  // Bias towards single-node: that domain feeds two differentials.
+  spec.num_nodes =
+      rng.chance(0.5) ? 1u : static_cast<std::uint32_t>(rng.range(2, 4));
+  const std::uint32_t seats =
+      spec.num_nodes * spec.num_cores * spec.threads_per_core;
+  spec.num_ranks =
+      static_cast<std::uint32_t>(rng.range(2, std::min(seats, 16u)));
+  spec.blocks = static_cast<std::uint32_t>(rng.range(1, 5));
+  spec.vanilla = rng.chance(0.25);
+  spec.with_noise = rng.chance(0.4);
+  spec.with_priorities = rng.chance(0.6);
+  spec.cyclic_placement = rng.chance(0.5);
+  return sanitize_spec(spec);
+}
+
+ScenarioSpec random_flat_spec(std::uint64_t seed) {
+  ScenarioSpec spec = random_spec(seed);
+  spec.num_nodes = 1;
+  return sanitize_spec(spec);
+}
+
+Scenario build_scenario(const ScenarioSpec& raw) {
+  const ScenarioSpec spec = sanitize_spec(raw);
+  // Independent detail streams, all rooted at spec.seed, one per concern:
+  // a shape mutation by the shrinker must not cascade into unrelated
+  // re-rolls, so program content, placement and config each fork off a
+  // distinct salted seed rather than sharing one sequence.
+  std::uint64_t s = spec.seed;
+  Rng program_rng(splitmix64(s));
+  Rng placement_rng(splitmix64(s));
+  Rng config_rng(splitmix64(s));
+
+  Scenario out;
+
+  // --- per-node engine configuration -----------------------------------------
+  out.config.chip.num_cores = spec.num_cores;
+  out.config.chip.memory.num_cores = spec.num_cores;  // per-core L1Ds
+  out.config.chip.core.threads_per_core = spec.threads_per_core;
+  // Small sampler windows keep a fuzz iteration cheap (the default
+  // 30k/120k windows are calibration-grade; differential equality only
+  // needs both sides to see the *same* rates, not converged ones).
+  out.config.sampler.warmup_cycles = 500;
+  out.config.sampler.window_cycles = 2'000;
+  out.config.sampler.seed = config_rng() | 1u;
+  out.config.kernel_flavor =
+      spec.vanilla ? os::KernelFlavor::kVanilla : os::KernelFlavor::kPatched;
+  if (spec.with_noise) {
+    out.config.noise = os::NoiseConfig{};  // the full noisy profile
+    out.config.noise.seed = config_rng() | 1u;
+    out.config.noise_horizon = 0.004 + config_rng.uniform() * 0.016;
+  }
+
+  // --- placement --------------------------------------------------------------
+  const std::uint32_t contexts = spec.num_cores * spec.threads_per_core;
+  if (spec.num_nodes == 1) {
+    // Random distinct linear CPUs: exercises non-identity pinnings
+    // (core-mates, empty cores) the identity layout never covers.
+    std::vector<std::uint32_t> cpus(contexts);
+    std::iota(cpus.begin(), cpus.end(), 0u);
+    for (std::size_t i = cpus.size() - 1; i > 0; --i) {
+      std::swap(cpus[i], cpus[placement_rng.below(i + 1)]);
+    }
+    cpus.resize(spec.num_ranks);
+    out.placement =
+        mpisim::Placement::from_linear(cpus, spec.threads_per_core);
+    out.cluster_placement = cluster::ClusterPlacement::explicit_map(
+        std::vector<std::uint32_t>(spec.num_ranks, 0u), out.placement);
+  } else {
+    out.cluster_placement =
+        spec.cyclic_placement
+            ? cluster::ClusterPlacement::cyclic(spec.num_ranks, spec.num_nodes,
+                                                spec.threads_per_core)
+            : cluster::ClusterPlacement::block(spec.num_ranks, spec.num_nodes,
+                                               spec.threads_per_core);
+    out.placement = out.cluster_placement.within;
+  }
+
+  out.cluster_config.num_nodes = spec.num_nodes;
+  out.cluster_config.node = out.config;
+  if (spec.num_nodes > 1 && placement_rng.chance(0.5)) {
+    out.cluster_config.interconnect.topology = cluster::Topology::kStar;
+  }
+
+  // --- application ------------------------------------------------------------
+  const std::uint32_t n = spec.num_ranks;
+  out.app.name = "fuzz";
+  out.app.ranks.resize(n);
+  for (std::uint32_t b = 0; b < spec.blocks; ++b) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      out.app.ranks[r].compute(pick_kernel(program_rng),
+                               1e5 + program_rng.uniform() * 9e5);
+    }
+    // Every block ends in one sync construct, identical across ranks
+    // (Application::validate requires matching collective sequences).
+    switch (program_rng.below(3)) {
+      case 0:
+        for (auto& rank : out.app.ranks) rank.barrier();
+        break;
+      case 1: {
+        const std::uint64_t bytes = 8 * program_rng.range(1, 512);
+        for (auto& rank : out.app.ranks) rank.allreduce(bytes);
+        break;
+      }
+      default: {  // ring exchange: r -> (r + 1) % n, tagged per block
+        const std::uint64_t bytes = 8 * program_rng.range(1, 512);
+        for (std::uint32_t r = 0; r < n; ++r) {
+          out.app.ranks[r]
+              .send(RankId{(r + 1) % n}, bytes, static_cast<int>(b))
+              .recv(RankId{(r + n - 1) % n}, bytes, static_cast<int>(b))
+              .wait_all();
+        }
+        break;
+      }
+    }
+    // Occasional per-rank local bookkeeping (unequal lengths are the
+    // point: they shift every subsequent event time).
+    if (program_rng.chance(0.3)) {
+      for (auto& rank : out.app.ranks) {
+        rank.delay(1e-5 + program_rng.uniform() * 9.9e-4);
+      }
+    }
+  }
+
+  // --- static priorities ------------------------------------------------------
+  if (spec.with_priorities) {
+    // VERY-LOW (1) is excluded: a starved spin loop can extend runs
+    // unboundedly; vanilla stays in the band the unpatched kernel honours.
+    const std::uint64_t lo = 2, hi = spec.vanilla ? 4 : 6;
+    out.priorities.reserve(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      out.priorities.push_back(static_cast<int>(program_rng.range(lo, hi)));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace smtbal::simcheck

@@ -1,0 +1,86 @@
+// Randomized scenario generation for differential fuzzing.
+//
+// A ScenarioSpec is the *shape* of a test case — rank/node/core counts,
+// SMT width, kernel flavor, block count, noise/priority toggles — plus a
+// seed that drives every fine-grained choice (kernels, instruction
+// counts, message sizes, placements). The shape fields are plain data so
+// the shrinker (differ.hpp) can minimise a failing case dimension by
+// dimension while build_scenario() re-derives the details
+// deterministically; printing the spec with to_string() gives a one-line
+// replay recipe.
+//
+// Generated scenarios respect the oracle's documented domain
+// restrictions (oracle.hpp): compute phases never use the spin kernel,
+// priorities are static and avoid VERY-LOW (vanilla specs stay within
+// the unpatched kernel's 2..4 band), and the flat differential runs on a
+// single node. Multi-node specs exercise the cluster engine under the
+// invariant checker instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.hpp"
+#include "cluster/placement.hpp"
+#include "mpisim/engine.hpp"
+#include "mpisim/phase.hpp"
+
+namespace smtbal::simcheck {
+
+struct ScenarioSpec {
+  /// Drives every fine-grained choice; the replay key.
+  std::uint64_t seed = 0;
+  // --- shape (shrinkable) ----------------------------------------------------
+  std::uint32_t num_ranks = 2;
+  std::uint32_t num_nodes = 1;
+  std::uint32_t num_cores = 2;         ///< per node
+  std::uint32_t threads_per_core = 2;  ///< 2 or 4
+  std::uint32_t blocks = 1;            ///< compute+sync blocks per rank
+  bool vanilla = false;                ///< unpatched kernel flavor
+  bool with_noise = false;
+  bool with_priorities = false;        ///< static per-rank priorities
+  bool cyclic_placement = false;       ///< multi-node: cyclic vs block
+
+  [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// One-line replay recipe, e.g.
+/// "seed=42 ranks=6 nodes=1 cores=2 smt=2 blocks=3 flavor=patched
+///  noise=0 prios=1 cyclic=0".
+[[nodiscard]] std::string to_string(const ScenarioSpec& spec);
+
+/// Clamps shape fields into the ranges build_scenario() honours (SMT
+/// width to {2,4}, ranks to the seat count, ...). build_scenario applies
+/// this itself; the shrinker also calls it so the spec it *reports* is
+/// the spec that actually ran.
+[[nodiscard]] ScenarioSpec sanitize_spec(ScenarioSpec spec);
+
+/// Draws a random spec (any node count 1..4) from `seed`.
+[[nodiscard]] ScenarioSpec random_spec(std::uint64_t seed);
+
+/// Draws a random single-node spec from `seed` — the domain shared by
+/// the engine-vs-oracle and flat-vs-cluster(M=1) differentials.
+[[nodiscard]] ScenarioSpec random_flat_spec(std::uint64_t seed);
+
+/// A fully built test case. The flat fields describe one node
+/// (`placement` is the within-node map); the cluster fields are always
+/// populated — for num_nodes == 1 they wrap the flat scenario so a
+/// cluster run over them must reproduce the flat run bit-for-bit.
+struct Scenario {
+  mpisim::Application app;
+  mpisim::Placement placement;
+  mpisim::EngineConfig config;
+  /// Static per-rank priority levels (global rank order); empty = leave
+  /// every rank at the kernel default.
+  std::vector<int> priorities;
+  cluster::ClusterPlacement cluster_placement;
+  cluster::ClusterConfig cluster_config;
+};
+
+/// Deterministically expands a spec into a runnable scenario. Out-of-band
+/// shape values (ranks exceeding the seat count, SMT width not in {2,4},
+/// ...) are clamped, never rejected, so shrinker mutations always build.
+[[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
+
+}  // namespace smtbal::simcheck

@@ -16,22 +16,29 @@ std::uint64_t ChipLoad::key() const {
   //
   // Only the prefix up to the last engaged context is hashed — this is the
   // hot path of every rate refresh, and real chips engage far fewer than
-  // kMaxContexts contexts. Folding the prefix length into the seed keeps
-  // loads that differ only in trailing idle width from aliasing.
+  // kMaxContexts contexts. The prefix length is XOR-ed into the seed AND,
+  // together with the engaged-context count, folded into the chain by a
+  // final splitmix64 round: a seed-only length fold can be cancelled by an
+  // adversarial trailing word, letting a longer load replay a shorter
+  // load's chain exactly (regression: smt_sampler_test.cpp,
+  // KeyCollisionAcrossContextCounts).
   std::size_t used = contexts.size();
   while (used > 0 && !contexts[used - 1].has_value()) --used;
+  std::uint64_t engaged = 0;
   std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL ^ used;
   for (std::size_t ctx = 0; ctx < used; ++ctx) {
     const auto& slot = contexts[ctx];
     std::uint64_t word = 0;
     if (slot.has_value()) {
+      ++engaged;
       word = (std::uint64_t{slot->kernel} + 1) << 4 |
              static_cast<std::uint64_t>(slot->priority);
     }
     std::uint64_t mixed = state ^ word;
     state = splitmix64(mixed);  // full avalanche per context word
   }
-  return state;
+  std::uint64_t tail = state ^ (engaged << 32 | used);
+  return splitmix64(tail);
 }
 
 ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
@@ -59,7 +66,25 @@ std::optional<SampleResult> SampleCache::lookup(std::uint64_t key) {
 
 void SampleCache::publish(std::uint64_t key, const SampleResult& result) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (map_.emplace(key, result).second) ++stats_.inserts;
+  const auto [it, inserted] = map_.emplace(key, result);
+  if (inserted) {
+    ++stats_.inserts;
+    return;
+  }
+  // First writer wins — but a re-publish is only legal when both writers
+  // computed the same bits. A divergent re-publish means measure() was
+  // not pure for this key (determinism bug) or the cache is shared across
+  // sampler domains; keep the first value, count the violation, and fail
+  // loudly in strict builds.
+  if (!(it->second == result)) {
+    ++stats_.divergent;
+    if (strict_) {
+      SMTBAL_CHECK_MSG(false,
+                       "SampleCache::publish: divergent result re-published "
+                       "for an existing key — nondeterministic measurement "
+                       "or a cache shared across sampler domains");
+    }
+  }
 }
 
 SampleCacheStats SampleCache::stats() const {

@@ -46,12 +46,17 @@ struct ChipLoad {
   /// 64-bit memoisation key: a splitmix64-chained hash over the
   /// per-context (kernel, priority) words (idle contexts hash as 0) up to
   /// the last engaged context, with the prefix length folded into the
-  /// seed so that trailing-idle loads of different widths stay distinct.
-  /// The full load does not fit a packed 64-bit key, so the key is a
-  /// hash, not an encoding: two distinct loads collide with probability
-  /// ~2^-64 per pair, in which case the memoised result of the first load
-  /// would be served for the second. No kernel-id range restriction
-  /// applies.
+  /// seed AND the engaged-context count folded into the chain through a
+  /// final splitmix64 round. The trailing fold matters: with the length
+  /// only XOR-ed into the seed, a two-context load whose second word was
+  /// chosen adversarially could replay the one-context chain exactly and
+  /// collide across different context counts (tests/smt_sampler_test.cpp
+  /// carries a constructed pair that collided under the seed-only
+  /// scheme). The full load does not fit a packed 64-bit key, so the key
+  /// is a hash, not an encoding: two distinct loads collide with
+  /// probability ~2^-64 per pair, in which case the memoised result of
+  /// the first load would be served for the second. No kernel-id range
+  /// restriction applies.
   [[nodiscard]] std::uint64_t key() const;
 };
 
@@ -61,6 +66,10 @@ struct SampleResult {
   std::array<double, kMaxContexts> ipc{};
   /// Retired instructions per second (ipc * chip frequency).
   std::array<double, kMaxContexts> instr_rate{};
+
+  /// Bitwise-exact comparison (measure() is deterministic, so equal
+  /// configurations produce equal bits; NaN never appears in a result).
+  bool operator==(const SampleResult&) const = default;
 };
 
 struct SamplerStats {
@@ -73,6 +82,12 @@ struct SampleCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
+  /// Re-publishes of an existing key with a *different* SampleResult.
+  /// Under the documented invariant (one cache per sampler domain,
+  /// measure() pure) this is always 0; a non-zero count means a
+  /// determinism bug or a cross-domain cache share — exactly what the
+  /// simcheck fuzzer hunts for.
+  std::uint64_t divergent = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t lookups = hits + misses;
@@ -94,8 +109,17 @@ class SampleCache {
   [[nodiscard]] std::optional<SampleResult> lookup(std::uint64_t key);
 
   /// Publishes a measured result. First writer wins; a lost race is
-  /// dropped (both writers computed the same value).
+  /// dropped (both writers computed the same value). A re-publish whose
+  /// value *differs* from the cached one is counted in stats().divergent
+  /// and, in strict mode, fails an SMTBAL_CHECK — it means the purity
+  /// invariant was violated (nondeterministic measure() or a cache shared
+  /// across sampler domains). Strict mode defaults on in debug
+  /// (!NDEBUG, i.e. the ASan/UBSan CI lane) and off in release.
   void publish(std::uint64_t key, const SampleResult& result);
+
+  /// Overrides the strict divergence-checking default (see publish()).
+  void set_strict(bool strict) { strict_ = strict; }
+  [[nodiscard]] bool strict() const { return strict_; }
 
   /// Snapshot of the hit/miss counters (totals across all attached
   /// samplers; order-dependent under concurrency — report, don't compare).
@@ -107,6 +131,11 @@ class SampleCache {
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, SampleResult> map_;
   SampleCacheStats stats_;
+#ifdef NDEBUG
+  bool strict_ = false;
+#else
+  bool strict_ = true;
+#endif
 };
 
 class ThroughputSampler {

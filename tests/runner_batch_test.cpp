@@ -230,5 +230,36 @@ TEST(ParseCli, RejectsMalformedFlags) {
   EXPECT_THROW(parse({"--json="}), InvalidArgument);
 }
 
+TEST(ParseJobs, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(parse_jobs("0"), 0u);
+  EXPECT_EQ(parse_jobs("8"), 8u);
+  EXPECT_EQ(parse_jobs("4294967295"), 4294967295u);
+}
+
+TEST(ParseJobs, RejectsTrailingGarbageSignsAndWhitespace) {
+  // std::stoul used to accept all of these ("4x" silently became 4).
+  for (const char* bad : {"4x", "", " 4", "4 ", "+4", "-3", "0x8"}) {
+    try {
+      (void)parse_jobs(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgument& error) {
+      EXPECT_NE(std::string(error.what()).find("non-negative integer"),
+                std::string::npos)
+          << bad << ": " << error.what();
+    }
+  }
+}
+
+TEST(ParseJobs, ReportsOutOfRangeDistinctly) {
+  try {
+    (void)parse_jobs("99999999999999999999");
+    FAIL() << "accepted an out-of-range value";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace smtbal::runner

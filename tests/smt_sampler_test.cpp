@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "isa/kernel.hpp"
 
 namespace smtbal::smt {
@@ -237,6 +240,78 @@ TEST(Sampler, RejectsBadOptions) {
   ThroughputSampler::Options options;
   options.window_cycles = 0;
   EXPECT_THROW(ThroughputSampler(ChipConfig{}, options), InvalidArgument);
+}
+
+TEST(ChipLoad, KeyCollisionAcrossContextCounts) {
+  // Regression for the seed-only length fold: folding the prefix length
+  // into the seed alone lets a longer load's trailing word cancel the
+  // length difference and replay a shorter load's chain. This pair was
+  // constructed to collide under that scheme; reimplement it here so the
+  // collision stays demonstrable.
+  const auto old_key = [](const ChipLoad& load) {
+    std::size_t used = load.contexts.size();
+    while (used > 0 && !load.contexts[used - 1].has_value()) --used;
+    std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL ^ used;
+    for (std::size_t ctx = 0; ctx < used; ++ctx) {
+      const auto& slot = load.contexts[ctx];
+      std::uint64_t word = 0;
+      if (slot.has_value()) {
+        word = (std::uint64_t{slot->kernel} + 1) << 4 |
+               static_cast<std::uint64_t>(slot->priority);
+      }
+      std::uint64_t mixed = state ^ word;
+      state = splitmix64(mixed);
+    }
+    return state;
+  };
+
+  ChipLoad one;
+  one.contexts[0] = ContextLoad{7, HwPriority::kMedium};
+  ChipLoad two;
+  two.contexts[0] = ContextLoad{19884184u, HwPriority::kMedium};
+  two.contexts[1] = ContextLoad{2630976577u, HwPriority::kMedium};
+
+  EXPECT_EQ(old_key(one), 0xd7af9c6f2777ab9aULL);
+  EXPECT_EQ(old_key(two), 0xd7af9c6f2777ab9aULL)
+      << "the adversarial pair no longer collides under the old scheme; "
+         "the regression test lost its witness";
+  EXPECT_NE(one.key(), two.key())
+      << "context-count fold regressed: distinct loads share a key";
+}
+
+TEST(SampleCache, CountsDivergentRepublishesWhenLenient) {
+  SampleCache cache;
+  cache.set_strict(false);
+  SampleResult a;
+  a.ipc[0] = 1.25;
+  SampleResult b = a;
+  b.ipc[0] = 1.5;
+
+  cache.publish(42, a);
+  cache.publish(42, a);  // benign lost race: same value, dropped silently
+  EXPECT_EQ(cache.stats().divergent, 0u);
+
+  cache.publish(42, b);  // purity violation: same key, different value
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().divergent, 1u);
+  // First writer wins; the divergent value must not clobber the cache.
+  const auto cached = cache.lookup(42);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->ipc[0], 1.25);
+}
+
+TEST(SampleCache, StrictModeFailsLoudlyOnDivergence) {
+  SampleCache cache;
+  cache.set_strict(true);
+  SampleResult a;
+  a.ipc[0] = 1.25;
+  SampleResult b = a;
+  b.ipc[0] = 1.5;
+
+  cache.publish(7, a);
+  cache.publish(7, a);  // identical re-publish stays legal in strict mode
+  EXPECT_THROW(cache.publish(7, b), std::logic_error);
+  EXPECT_EQ(cache.stats().divergent, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Differential fuzzing driver (simcheck).
+//
+// Runs randomized scenarios through every applicable differential
+// (engine vs oracle, flat vs cluster(M=1)) and the invariant checker,
+// and reports divergences as deterministic replay seeds:
+//
+//   simcheck_fuzz --count 10000 --jobs 0        # 10k seeds, all cores
+//   simcheck_fuzz --seconds 60                  # time-boxed smoke run
+//   simcheck_fuzz --replay 12345 --mode flat    # re-run one seed
+//   simcheck_fuzz --corpus tests/corpus         # replay saved seeds
+//
+// Exit status: 0 = no divergence, 1 = at least one failure (each
+// printed with its spec line and shrunk minimal spec), 2 = bad usage.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runner/batch.hpp"
+#include "simcheck/differ.hpp"
+#include "simcheck/fuzz.hpp"
+#include "simcheck/scenario.hpp"
+
+namespace {
+
+using smtbal::simcheck::FuzzMode;
+
+struct CorpusEntry {
+  std::uint64_t seed = 0;
+  FuzzMode mode = FuzzMode::kAny;
+  std::string origin;  ///< "file:line" for diagnostics
+};
+
+/// Parses one corpus line: "<seed> [flat|any]", '#' starts a comment.
+std::optional<CorpusEntry> parse_corpus_line(std::string line,
+                                             const std::string& origin) {
+  if (const auto hash = line.find('#'); hash != std::string::npos) {
+    line.resize(hash);
+  }
+  std::istringstream is(line);
+  CorpusEntry entry;
+  entry.origin = origin;
+  if (!(is >> entry.seed)) return std::nullopt;  // blank / comment-only
+  std::string mode;
+  if (is >> mode) {
+    if (mode == "flat") {
+      entry.mode = FuzzMode::kFlat;
+    } else if (mode != "any") {
+      throw smtbal::InvalidArgument(origin + ": unknown mode '" + mode + "'");
+    }
+  }
+  return entry;
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::vector<std::filesystem::path> files;
+  for (const auto& item : std::filesystem::directory_iterator(dir)) {
+    if (item.is_regular_file() && item.path().extension() == ".seeds") {
+      files.push_back(item.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // directory order is unspecified
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      throw smtbal::InvalidArgument("cannot read corpus file " + path.string());
+    }
+    std::string line;
+    for (int lineno = 1; std::getline(in, line); ++lineno) {
+      if (auto entry = parse_corpus_line(
+              line, path.filename().string() + ":" + std::to_string(lineno))) {
+        entries.push_back(std::move(*entry));
+      }
+    }
+  }
+  return entries;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: simcheck_fuzz [--seed-base N] [--count N] [--seconds S]\n"
+        "                     [--jobs N] [--mode any|flat] [--no-shrink]\n"
+        "                     [--replay SEED] [--corpus DIR]\n";
+  return code;
+}
+
+void print_failure(const smtbal::simcheck::FuzzFailure& failure) {
+  std::cerr << "FAIL seed=" << failure.seed << ": " << failure.message << "\n"
+            << "  spec:   " << to_string(failure.spec) << "\n"
+            << "  shrunk: " << to_string(failure.shrunk) << "\n"
+            << "  replay: simcheck_fuzz --replay " << failure.seed << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smtbal::simcheck::FuzzOptions options;
+  options.count = 1000;
+  std::optional<std::uint64_t> replay;
+  std::string corpus_dir;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (++i >= argc) {
+          throw smtbal::InvalidArgument(arg + " requires a value");
+        }
+        return argv[i];
+      };
+      if (arg == "--seed-base") {
+        options.seed_base = std::stoull(value());
+      } else if (arg == "--count") {
+        options.count = std::stoull(value());
+      } else if (arg == "--seconds") {
+        options.seconds = std::stod(value());
+      } else if (arg == "--jobs") {
+        options.jobs = smtbal::runner::parse_jobs(value());
+      } else if (arg == "--mode") {
+        const std::string mode = value();
+        if (mode == "any") {
+          options.mode = FuzzMode::kAny;
+        } else if (mode == "flat") {
+          options.mode = FuzzMode::kFlat;
+        } else {
+          throw smtbal::InvalidArgument("--mode must be 'any' or 'flat'");
+        }
+      } else if (arg == "--no-shrink") {
+        options.shrink = false;
+      } else if (arg == "--replay") {
+        replay = std::stoull(value());
+      } else if (arg == "--corpus") {
+        corpus_dir = value();
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(std::cerr, 2);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage(std::cerr, 2);
+  }
+
+  try {
+    if (replay) {
+      const auto spec = options.mode == FuzzMode::kFlat
+                            ? smtbal::simcheck::random_flat_spec(*replay)
+                            : smtbal::simcheck::random_spec(*replay);
+      std::cout << "replaying " << to_string(spec) << "\n";
+      if (const auto message = smtbal::simcheck::check_spec(spec)) {
+        std::cerr << "FAIL: " << *message << "\n";
+        return 1;
+      }
+      std::cout << "PASS\n";
+      return 0;
+    }
+
+    if (!corpus_dir.empty()) {
+      const auto entries = load_corpus(corpus_dir);
+      std::cout << "replaying " << entries.size() << " corpus seed(s) from "
+                << corpus_dir << "\n";
+      int failures = 0;
+      for (const auto& entry : entries) {
+        const auto spec = entry.mode == FuzzMode::kFlat
+                              ? smtbal::simcheck::random_flat_spec(entry.seed)
+                              : smtbal::simcheck::random_spec(entry.seed);
+        if (const auto message = smtbal::simcheck::check_spec(spec)) {
+          std::cerr << "FAIL " << entry.origin << " seed=" << entry.seed
+                    << ": " << *message << "\n";
+          ++failures;
+        }
+      }
+      if (failures == 0) std::cout << "PASS\n";
+      return failures == 0 ? 0 : 1;
+    }
+
+    const auto report = smtbal::simcheck::run_fuzz(options);
+    std::cout << "ran " << report.iterations << " scenario(s), "
+              << report.failures.size() << " failure(s)\n";
+    for (const auto& failure : report.failures) print_failure(failure);
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 2;
+  }
+}
