@@ -55,6 +55,18 @@ namespace detail {
     }                                                                         \
   } while (false)
 
+/// Debug-only invariant check for per-event/per-cycle hot paths where even
+/// a well-predicted branch is measurable: active without NDEBUG, compiled
+/// out of release builds (the condition is not evaluated). Use SMTBAL_CHECK
+/// when the cost is affordable — loud beats fast everywhere else.
+#ifdef NDEBUG
+#define SMTBAL_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define SMTBAL_DCHECK(expr) SMTBAL_CHECK(expr)
+#endif
+
 /// Precondition check at a public API boundary: throws InvalidArgument.
 #define SMTBAL_REQUIRE(expr, msg)                         \
   do {                                                    \

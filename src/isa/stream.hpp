@@ -39,6 +39,18 @@ class StreamGen {
   InstrCount generated_ = 0;
   // Cumulative mix thresholds for class selection.
   double cum_mix_[kNumOpClasses] = {};
+  void build_dep_table();
+
+  // Per-op-constant factors hoisted out of the generation hot path; both
+  // reproduce the original per-call expressions bit for bit.
+  double log_one_minus_p_ = 0.0;  // log(1 - 1/mean_dep_dist)
+  bool stride_fits_ = false;      // stride < working set: subtract, not mod
+  // Exact u-thresholds of the geometric quantile: dep_thresh_[k] is the
+  // largest double u with ceil(log(u)/log(1-p)) clamped to [1,64] >= k,
+  // found at construction by probing that very expression, so the runtime
+  // comparison scan returns bit-identical distances without calling log.
+  bool dep_table_valid_ = false;
+  double dep_thresh_[65] = {};
 };
 
 }  // namespace smtbal::isa

@@ -3,14 +3,14 @@
 namespace smtbal::mpisim {
 
 void Collectives::release_due(SimTime now, SimTime eps,
-                              std::vector<RankRt>& ranks,
+                              std::span<const RunState> states,
+                              std::span<const SimTime> ready_at,
                               CollectiveClient& client) {
   // Snapshot the releasable ranks first, then complete them (a completion
   // may invalidate a queued entry — e.g. advance the rank to the next
   // collective — so re-check at pop time).
-  for (std::size_t r = 0; r < ranks.size(); ++r) {
-    if (ranks[r].state == RunState::kAtBarrier &&
-        ranks[r].ready_at <= now + eps) {
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    if (states[r] == RunState::kAtBarrier && ready_at[r] <= now + eps) {
       release_queue_.push_back(r);
     }
   }
@@ -18,8 +18,7 @@ void Collectives::release_due(SimTime now, SimTime eps,
   releasing_ = true;
   for (std::size_t i = 0; i < release_queue_.size(); ++i) {
     const std::size_t r = release_queue_[i];
-    if (ranks[r].state == RunState::kAtBarrier &&
-        ranks[r].ready_at <= now + eps) {
+    if (states[r] == RunState::kAtBarrier && ready_at[r] <= now + eps) {
       client.release_rank(r);
     }
   }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -52,11 +53,12 @@ class Collectives {
   [[nodiscard]] std::size_t arrived() const { return barrier_arrived_; }
 
   /// Releases every rank sitting at a collective whose release time is
-  /// due (`ready_at <= now + eps`), in rank order, re-entrant safe: a
+  /// due (`ready_at[r] <= now + eps`), in rank order, re-entrant safe: a
   /// release cascade that arrives at — and completes — a further
   /// zero-cost collective appends to the queue the outermost call drains.
-  void release_due(SimTime now, SimTime eps, std::vector<RankRt>& ranks,
-                   CollectiveClient& client);
+  /// `states` and `ready_at` are the engine's rank-indexed SoA views.
+  void release_due(SimTime now, SimTime eps, std::span<const RunState> states,
+                   std::span<const SimTime> ready_at, CollectiveClient& client);
 
   /// Records a message handed to the network at send time; `arrival` is
   /// when it reaches the receiver. FIFO per (src, dst, tag) channel, in

@@ -6,27 +6,50 @@
 
 namespace smtbal::mpisim {
 
-bool EventQueue::before(const Event& a, const Event& b) {
+bool EventQueue::before(const Handle& a, const Handle& b) {
   if (a.time != b.time) return a.time < b.time;
   return a.seq < b.seq;
+}
+
+Event EventQueue::materialize(const Handle& handle) const {
+  const Body& body = arena_[handle.slot];
+  return Event{handle.time, handle.seq, body.kind,
+               body.subject, body.generation, body.msg};
 }
 
 std::uint64_t EventQueue::push(SimTime time, EventKind kind,
                                std::uint32_t subject, std::uint64_t generation,
                                MsgPayload msg) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{time, seq, kind, subject, generation, msg});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(arena_.size());
+    arena_.emplace_back();
+  }
+  arena_[slot] = Body{kind, subject, generation, msg};
+  heap_.push_back(Handle{time, seq, slot});
   sift_up(heap_.size() - 1);
   return seq;
 }
 
+const Event& EventQueue::top() const {
+  SMTBAL_DCHECK(!heap_.empty());
+  top_scratch_ = materialize(heap_.front());
+  return top_scratch_;
+}
+
 Event EventQueue::pop() {
   SMTBAL_CHECK_MSG(!heap_.empty(), "pop() on an empty event queue");
-  Event top = heap_.front();
+  const Handle top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
-  return top;
+  Event out = materialize(top);
+  free_.push_back(top.slot);
+  return out;
 }
 
 void EventQueue::sift_up(std::size_t index) {

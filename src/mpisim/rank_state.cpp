@@ -13,8 +13,8 @@ std::string_view to_string(RunState state) {
   return "?";
 }
 
-trace::RankState base_trace(const RankRt& rt) {
-  switch (rt.state) {
+trace::RankState base_trace(RunState state, const RankRt& rt) {
+  switch (state) {
     case RunState::kComputing: return rt.compute_traced_as;
     case RunState::kDelaying: return rt.delay_traced_as;
     case RunState::kAtBarrier:

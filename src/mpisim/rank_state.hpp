@@ -1,10 +1,12 @@
 // Per-rank runtime state machine of the discrete-event engine.
 //
 // A rank is always in exactly one RunState; the engine advances it through
-// its program's phases, and RankRt carries everything the transition logic
-// needs: the compute-integration segment (remaining instructions, the rate
-// of the current piecewise-constant segment and when it was last accrued),
-// the blocking condition, per-epoch accumulators and trace bookkeeping.
+// its program's phases. The state the event-loop scans touch on every
+// event (RunState, compute-integration segment, prediction generation,
+// epoch counters, collective readiness) lives in parallel arrays inside
+// detail::Sim — structure-of-arrays, indexed by rank id — while RankRt
+// carries the cold per-rank bookkeeping: the phase cursor, posted
+// receives, trace bookkeeping and the per-epoch accumulators.
 #pragma once
 
 #include <cstdint>
@@ -38,27 +40,14 @@ struct RecvReq {
   SimTime arrival = 0.0;
 };
 
+/// Cold per-rank bookkeeping (see the file comment; the hot state is SoA
+/// inside detail::Sim).
 struct RankRt {
   std::size_t phase = 0;
-  RunState state = RunState::kComputing;
-  isa::KernelId kernel = 0;
   trace::RankState compute_traced_as = trace::RankState::kCompute;
   trace::RankState delay_traced_as = trace::RankState::kStat;
   SimTime delay_until = 0.0;
-  SimTime ready_at = kSimInf;  ///< barrier release / waitall completion
   std::vector<RecvReq> posted;
-  int epochs = 0;
-
-  // Compute integration: `remaining` is exact as of `accrued_at`; the rank
-  // progresses at `rate` until the next accrual boundary (a rate change,
-  // a preemption, an epoch snapshot or the completion itself).
-  double remaining = 0.0;
-  double rate = 0.0;
-  SimTime accrued_at = 0.0;
-  /// Whether a kComputeDone prediction for the current segment is queued.
-  bool pred_valid = false;
-  /// Bumped whenever a queued prediction becomes stale (lazy invalidation).
-  std::uint64_t compute_gen = 0;
 
   // Trace bookkeeping.
   trace::RankState shown = trace::RankState::kInit;
@@ -71,7 +60,7 @@ struct RankRt {
   SimTime wait_since = 0.0;
 };
 
-/// The trace state a rank shows when not preempted.
-[[nodiscard]] trace::RankState base_trace(const RankRt& rt);
+/// The trace state a rank in `state` shows when not preempted.
+[[nodiscard]] trace::RankState base_trace(RunState state, const RankRt& rt);
 
 }  // namespace smtbal::mpisim

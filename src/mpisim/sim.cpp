@@ -28,6 +28,15 @@ Sim::Sim(const Application& app, const Placement& placement,
       bus_(bus),
       nodes_(nodes.size()),
       ranks_(app.size()),
+      state_(app.size(), RunState::kComputing),
+      kernel_of_rank_(app.size(), 0),
+      ready_at_(app.size(), kSimInf),
+      epochs_(app.size(), 0),
+      remaining_(app.size(), 0.0),
+      rate_(app.size(), 0.0),
+      accrued_at_(app.size(), 0.0),
+      pred_valid_(app.size(), 0),
+      compute_gen_(app.size(), 0),
       spin_kernel_(
           isa::KernelRegistry::instance().by_name(config.spin_kernel).id),
       collectives_(app.size()) {
@@ -40,6 +49,8 @@ Sim::Sim(const Application& app, const Placement& placement,
     node.ctx = nodes[n];
     node.ctx_base = ctx_base;
     const std::uint32_t contexts = node.ctx.chip->num_contexts();
+    node.words.assign(contexts, 0);
+    node.chain.assign(contexts, 0);
     for (std::uint32_t ctx = 0; ctx < contexts; ++ctx) {
       node_of_ctx_.push_back(static_cast<std::uint32_t>(n));
     }
@@ -76,7 +87,7 @@ bool Sim::preempted(std::size_t rank) const {
 
 void Sim::notify_priority_change(RankId rank, int from, int to) {
   emit_meta(EventKind::kPriorityChange, rank.value());
-  bus_.notify_priority_change(rank, from, to, now_);
+  if (observed_) bus_.notify_priority_change(rank, from, to, now_);
 }
 
 void Sim::invariant_audit(InvariantAudit& out) const {
@@ -86,13 +97,12 @@ void Sim::invariant_audit(InvariantAudit& out) const {
   out.collective_arrived = collectives_.arrived();
   out.ranks.resize(ranks_.size());
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    const RankRt& rt = ranks_[r];
     RankAudit& audit = out.ranks[r];
-    audit.state = rt.state;
-    audit.ready_at = rt.ready_at;
-    audit.remaining = rt.remaining;
-    audit.rate = rt.rate;
-    audit.predicted = rt.pred_valid;
+    audit.state = state_[r];
+    audit.ready_at = ready_at_[r];
+    audit.remaining = remaining_[r];
+    audit.rate = rate_[r];
+    audit.predicted = pred_valid_[r] != 0;
   }
   out.nodes.resize(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -114,7 +124,8 @@ void Sim::invariant_audit(InvariantAudit& out) const {
 void Sim::set_trace(std::size_t rank, trace::RankState state) {
   RankRt& rt = ranks_[rank];
   if (rt.shown == state) return;
-  if (now_ > rt.state_since && rt.shown != trace::RankState::kDone) {
+  if (observed_ && now_ > rt.state_since &&
+      rt.shown != trace::RankState::kDone) {
     bus_.notify_interval(RankId{static_cast<std::uint32_t>(rank)},
                          rt.state_since, now_, rt.shown);
   }
@@ -124,6 +135,7 @@ void Sim::set_trace(std::size_t rank, trace::RankState state) {
 
 /// Publishes a synthesized (never-queued) event to the observers.
 void Sim::emit_meta(EventKind kind, std::uint32_t subject) {
+  if (!observed_) return;
   Event event;
   event.time = now_;
   event.kind = kind;
@@ -132,8 +144,7 @@ void Sim::emit_meta(EventKind kind, std::uint32_t subject) {
 }
 
 void Sim::finish_rank(std::size_t rank) {
-  RankRt& rt = ranks_[rank];
-  rt.state = RunState::kDone;
+  state_[rank] = RunState::kDone;
   set_trace(rank, trace::RankState::kDone);
   node_of(rank).ctx.kernel->exit_process(pids_[rank]);
   ++done_count_;
@@ -142,37 +153,34 @@ void Sim::finish_rank(std::size_t rank) {
 /// Materialises the rank's compute progress up to now_ (the segment
 /// boundary of the piecewise-constant integration).
 void Sim::accrue(std::size_t rank) {
-  RankRt& rt = ranks_[rank];
-  const SimTime dt = now_ - rt.accrued_at;
+  const SimTime dt = now_ - accrued_at_[rank];
   if (dt > 0.0) {
-    rt.remaining -= rt.rate * dt;
-    rt.acc_compute += dt;
+    remaining_[rank] -= rate_[rank] * dt;
+    ranks_[rank].acc_compute += dt;
   }
-  rt.accrued_at = now_;
+  accrued_at_[rank] = now_;
 }
 
 /// Starts a fresh integration segment at `rate` and predicts the
 /// completion into the queue (no prediction for a starved rate, exactly
 /// as the rescan loop had no next-event candidate for it).
 void Sim::start_segment(std::size_t rank, double rate) {
-  RankRt& rt = ranks_[rank];
-  rt.rate = rate;
-  rt.accrued_at = now_;
-  ++rt.compute_gen;
-  rt.pred_valid = false;
+  rate_[rank] = rate;
+  accrued_at_[rank] = now_;
+  ++compute_gen_[rank];
+  pred_valid_[rank] = 0;
   if (rate > 0.0) {
-    queue_.push(now_ + rt.remaining / rate, EventKind::kComputeDone,
-                static_cast<std::uint32_t>(rank), rt.compute_gen);
-    rt.pred_valid = true;
+    queue_.push(now_ + remaining_[rank] / rate, EventKind::kComputeDone,
+                static_cast<std::uint32_t>(rank), compute_gen_[rank]);
+    pred_valid_[rank] = 1;
   }
 }
 
 /// Drops a queued compute prediction (rate change, preemption) without
 /// touching the heap: the generation bump makes the queued entry stale.
 void Sim::invalidate_prediction(std::size_t rank) {
-  RankRt& rt = ranks_[rank];
-  rt.pred_valid = false;
-  ++rt.compute_gen;
+  pred_valid_[rank] = 0;
+  ++compute_gen_[rank];
 }
 
 /// Re-derives rates on every node whose chip load changed, and
@@ -180,22 +188,69 @@ void Sim::invalidate_prediction(std::size_t rank) {
 /// rate actually changed or that started a fresh compute segment;
 /// everyone else's queued prediction stays valid. Nodes are independent
 /// sampling domains: an event on one node re-samples only that node.
+///
+/// The load key is derived incrementally: each context's (kernel,
+/// priority) word is recomputed from ground truth and compared against
+/// the node's cached word, and only the hash-chain suffix from the first
+/// changed word is re-mixed (ChipLoad::key() prefix deltas). The common
+/// nothing-changed case costs one compare per context — no hashing, no
+/// ChipLoad construction, no sampler lookup.
 void Sim::refresh_rates() {
   for (NodeRt& node : nodes_) {
-    const smt::ChipLoad load = build_load(node);
-    const std::uint64_t key = load.key();
+    const smt::ChipConfig& chip = *node.ctx.chip;
+    const std::uint32_t contexts = chip.num_contexts();
+    std::uint32_t first_changed = contexts;  // sentinel: no word changed
+    std::uint32_t used = 0;
+    std::uint64_t engaged = 0;
+    for (std::uint32_t ctx = 0; ctx < contexts; ++ctx) {
+      const CpuId cpu = chip.cpu(ctx);
+      std::uint64_t word = 0;
+      if (node.ctx.kernel->process_on(cpu).has_value()) {
+        const int rank = rank_on_linear_[node.ctx_base + ctx];
+        SMTBAL_CHECK(rank >= 0);
+        const auto r = static_cast<std::size_t>(rank);
+        const bool computing =
+            state_[r] == RunState::kComputing && !preempted(r);
+        word = smt::ChipLoad::context_word(
+            computing ? kernel_of_rank_[r] : spin_kernel_,
+            node.ctx.kernel->effective_priority(cpu));
+        used = ctx + 1;
+        ++engaged;
+      }
+      if (word != node.words[ctx]) {
+        node.words[ctx] = word;
+        first_changed = std::min(first_changed, ctx);
+      }
+    }
+    if (node.have_rates && first_changed == contexts) continue;
+    // Re-mix from the first changed word; from 0 when the engaged-prefix
+    // length changed (it seeds the chain) or nothing is cached yet.
+    const std::uint32_t from =
+        used == node.used ? std::min(first_changed, used) : 0;
+    std::uint64_t chain_state =
+        from == 0 ? smt::ChipLoad::chain_seed(used) : node.chain[from - 1];
+    for (std::uint32_t i = from; i < used; ++i) {
+      chain_state = smt::ChipLoad::chain_mix(chain_state, node.words[i]);
+      node.chain[i] = chain_state;
+    }
+    node.used = used;
+    const std::uint64_t key =
+        smt::ChipLoad::chain_finish(chain_state, engaged, used);
     if (node.have_rates && key == node.load_key) continue;
     node.load_key = key;
     node.have_rates = true;
     // Copy, not reference: the sampler's map may rehash on later misses.
-    node.rates = node.ctx.sampler->sample(load);
+    if (const smt::SampleResult* hit = node.ctx.sampler->probe(key)) {
+      node.rates = *hit;
+    } else {
+      node.rates = node.ctx.sampler->sample_measured(key, build_load(node));
+    }
     for (const std::size_t r : node.ranks) {
-      RankRt& rt = ranks_[r];
-      if (rt.state != RunState::kComputing || preempted(r)) continue;
+      if (state_[r] != RunState::kComputing || preempted(r)) continue;
       const double rate = node.rates.instr_rate[lin_of_rank_[r]];
-      if (!rt.pred_valid) {
+      if (pred_valid_[r] == 0) {
         start_segment(r, rate);
-      } else if (rate != rt.rate) {
+      } else if (rate != rate_[r]) {
         accrue(r);
         start_segment(r, rate);
       }
@@ -204,8 +259,8 @@ void Sim::refresh_rates() {
   // Fresh compute segments on nodes whose load key did not change (the
   // re-sampled nodes above already predicted them: pred_valid is set).
   for (const std::size_t r : fresh_compute_) {
-    RankRt& rt = ranks_[r];
-    if (rt.state != RunState::kComputing || rt.pred_valid || preempted(r)) {
+    if (state_[r] != RunState::kComputing || pred_valid_[r] != 0 ||
+        preempted(r)) {
       continue;
     }
     start_segment(r, node_of(r).rates.instr_rate[lin_of_rank_[r]]);
@@ -214,6 +269,9 @@ void Sim::refresh_rates() {
 }
 
 /// Current load of one node's chip: what every context runs right now.
+/// Only the sampler-miss path needs the materialised ChipLoad; the
+/// steady-state key derivation lives in refresh_rates() and must stay in
+/// lockstep with this function (same word per context).
 smt::ChipLoad Sim::build_load(const NodeRt& node) const {
   smt::ChipLoad load;
   const smt::ChipConfig& chip = *node.ctx.chip;
@@ -222,11 +280,10 @@ smt::ChipLoad Sim::build_load(const NodeRt& node) const {
     if (!node.ctx.kernel->process_on(cpu).has_value()) continue;  // idle
     const int rank = rank_on_linear_[node.ctx_base + ctx];
     SMTBAL_CHECK(rank >= 0);
-    const RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
-    const bool computing = rt.state == RunState::kComputing &&
-                           !preempted(static_cast<std::size_t>(rank));
+    const auto r = static_cast<std::size_t>(rank);
+    const bool computing = state_[r] == RunState::kComputing && !preempted(r);
     load.contexts[ctx] =
-        smt::ContextLoad{computing ? rt.kernel : spin_kernel_,
+        smt::ContextLoad{computing ? kernel_of_rank_[r] : spin_kernel_,
                          node.ctx.kernel->effective_priority(cpu)};
   }
   return load;
@@ -235,39 +292,38 @@ smt::ChipLoad Sim::build_load(const NodeRt& node) const {
 /// A message for `rank` arrived: if it is blocked in waitall, recompute
 /// its readiness (and complete it if already due).
 void Sim::notify_receiver(std::size_t rank) {
-  RankRt& rt = ranks_[rank];
-  if (rt.state != RunState::kAtWaitAll) return;
+  if (state_[rank] != RunState::kAtWaitAll) return;
   SimTime max_arrival = 0.0;
-  if (collectives_.match_all(static_cast<std::uint32_t>(rank), rt.posted,
-                             max_arrival)) {
-    rt.ready_at = std::max(max_arrival, now_);
-    if (rt.ready_at <= now_ + kTimeEps) complete_block(rank);
+  if (collectives_.match_all(static_cast<std::uint32_t>(rank),
+                             ranks_[rank].posted, max_arrival)) {
+    ready_at_[rank] = std::max(max_arrival, now_);
+    if (ready_at_[rank] <= now_ + kTimeEps) complete_block(rank);
   }
 }
 
 /// The rank's blocking condition is satisfied: advance past the phase.
 void Sim::complete_block(std::size_t rank) {
   RankRt& rt = ranks_[rank];
-  switch (rt.state) {
+  switch (state_[rank]) {
     case RunState::kComputing:
       break;
     case RunState::kDelaying:
       break;
     case RunState::kAtBarrier:
       rt.acc_wait += now_ - rt.wait_since;
-      ++rt.epochs;
+      ++epochs_[rank];
       epochs_dirty_ = true;
       break;
     case RunState::kAtWaitAll:
       rt.acc_wait += now_ - rt.wait_since;
       rt.posted.clear();
-      ++rt.epochs;
+      ++epochs_[rank];
       epochs_dirty_ = true;
       break;
     case RunState::kDone:
       return;
   }
-  rt.ready_at = kSimInf;
+  ready_at_[rank] = kSimInf;
   ++rt.phase;
   advance_rank(rank);
 }
@@ -282,23 +338,22 @@ void Sim::release_rank(std::size_t rank) { complete_block(rank); }
 /// kBarrierRelease event; a zero-cost release drains inline through the
 /// collectives module's re-entrant-safe queue.
 void Sim::arrive_collective(std::size_t rank, SimTime release_cost) {
-  RankRt& rt = ranks_[rank];
-  rt.state = RunState::kAtBarrier;
-  rt.ready_at = kSimInf;
-  rt.wait_since = now_;
+  state_[rank] = RunState::kAtBarrier;
+  ready_at_[rank] = kSimInf;
+  ranks_[rank].wait_since = now_;
   set_trace(rank, trace::RankState::kSync);
   if (!collectives_.arrive()) return;
   const SimTime release = now_ + release_cost;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    if (ranks_[r].state == RunState::kAtBarrier) {
-      ranks_[r].ready_at = release;
+    if (state_[r] == RunState::kAtBarrier) {
+      ready_at_[r] = release;
     }
   }
   if (release > now_ + kTimeEps) {
     queue_.push(release, EventKind::kBarrierRelease);
     return;
   }
-  collectives_.release_due(now_, kTimeEps, ranks_, *this);
+  collectives_.release_due(now_, kTimeEps, state_, ready_at_, *this);
 }
 
 /// Executes phases from the rank's cursor until it blocks or finishes.
@@ -318,9 +373,9 @@ void Sim::advance_rank(std::size_t rank) {
         ++rt.phase;
         continue;
       }
-      rt.state = RunState::kComputing;
-      rt.remaining = compute->instructions;
-      rt.kernel = compute->kernel;
+      state_[rank] = RunState::kComputing;
+      remaining_[rank] = compute->instructions;
+      kernel_of_rank_[rank] = compute->kernel;
       rt.compute_traced_as = compute->traced_as;
       invalidate_prediction(rank);
       fresh_compute_.push_back(rank);
@@ -363,16 +418,16 @@ void Sim::advance_rank(std::size_t rank) {
           static_cast<std::uint32_t>(rank), rt.posted, max_arrival);
       if (all && max_arrival <= now_ + kTimeEps) {
         rt.posted.clear();
-        ++rt.epochs;
+        ++epochs_[rank];
         epochs_dirty_ = true;
         ++rt.phase;
         continue;
       }
-      rt.state = RunState::kAtWaitAll;
+      state_[rank] = RunState::kAtWaitAll;
       // A fully matched set with in-flight messages completes at the
       // last arrival; its kMsgArrival event is already queued and wakes
       // the rank. Unmatched receives wait for a future send.
-      rt.ready_at = all ? std::max(max_arrival, now_) : kSimInf;
+      ready_at_[rank] = all ? std::max(max_arrival, now_) : kSimInf;
       rt.wait_since = now_;
       set_trace(rank, trace::RankState::kSync);
       return;
@@ -382,7 +437,7 @@ void Sim::advance_rank(std::size_t rank) {
         ++rt.phase;
         continue;
       }
-      rt.state = RunState::kDelaying;
+      state_[rank] = RunState::kDelaying;
       rt.delay_until = now_ + delay->duration;
       rt.delay_traced_as = delay->traced_as;
       queue_.push(rt.delay_until, EventKind::kDelayDone,
@@ -418,27 +473,27 @@ void Sim::on_noise_preempt(std::uint32_t global_ctx) {
   const bool is_preempted = preempt_until_[lin] > now_ + kTimeEps;
   const int rank = rank_on_linear_[lin];
   if (rank < 0) return;
-  RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
-  if (rt.state == RunState::kDone) return;
-  if (!was_preempted && is_preempted && rt.state == RunState::kComputing) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (state_[r] == RunState::kDone) return;
+  if (!was_preempted && is_preempted && state_[r] == RunState::kComputing) {
     // Suspend the integration segment for the preemption window.
-    accrue(static_cast<std::size_t>(rank));
-    invalidate_prediction(static_cast<std::size_t>(rank));
+    accrue(r);
+    invalidate_prediction(r);
   }
-  set_trace(static_cast<std::size_t>(rank), trace::RankState::kPreempted);
+  set_trace(r, trace::RankState::kPreempted);
 }
 
 void Sim::on_noise_resume(std::uint32_t global_ctx) {
   preempt_until_[global_ctx] = 0.0;
   const int rank = rank_on_linear_[global_ctx];
   if (rank < 0) return;
-  RankRt& rt = ranks_[static_cast<std::size_t>(rank)];
-  if (rt.state != RunState::kDone) {
-    set_trace(static_cast<std::size_t>(rank), base_trace(rt));
+  const auto r = static_cast<std::size_t>(rank);
+  if (state_[r] != RunState::kDone) {
+    set_trace(r, base_trace(state_[r], ranks_[r]));
   }
-  if (rt.state == RunState::kComputing && !rt.pred_valid) {
+  if (state_[r] == RunState::kComputing && pred_valid_[r] == 0) {
     // Resume the suspended segment; refresh_rates() predicts anew.
-    fresh_compute_.push_back(static_cast<std::size_t>(rank));
+    fresh_compute_.push_back(r);
   }
 }
 
@@ -447,11 +502,9 @@ void Sim::on_noise_resume(std::uint32_t global_ctx) {
 /// preemption windows that were extended or already closed.
 bool Sim::is_stale(const Event& event) const {
   switch (event.kind) {
-    case EventKind::kComputeDone: {
-      const RankRt& rt = ranks_[event.subject];
-      return event.generation != rt.compute_gen ||
-             rt.state != RunState::kComputing;
-    }
+    case EventKind::kComputeDone:
+      return event.generation != compute_gen_[event.subject] ||
+             state_[event.subject] != RunState::kComputing;
     case EventKind::kNoiseResume:
       return preempt_until_[event.subject] == 0.0 ||
              preempt_until_[event.subject] > event.time + kTimeEps;
@@ -470,10 +523,10 @@ void Sim::dispatch(const Event& event) {
       break;
     }
     case EventKind::kDelayDone: {
-      RankRt& rt = ranks_[event.subject];
-      if (rt.state == RunState::kDelaying &&
-          rt.delay_until <= now_ + kTimeEps) {
-        complete_block(event.subject);
+      const std::size_t rank = event.subject;
+      if (state_[rank] == RunState::kDelaying &&
+          ranks_[rank].delay_until <= now_ + kTimeEps) {
+        complete_block(rank);
       }
       break;
     }
@@ -481,7 +534,7 @@ void Sim::dispatch(const Event& event) {
       notify_receiver(event.msg.dst);
       break;
     case EventKind::kBarrierRelease:
-      collectives_.release_due(now_, kTimeEps, ranks_, *this);
+      collectives_.release_due(now_, kTimeEps, state_, ready_at_, *this);
       break;
     case EventKind::kNoisePreempt:
       on_noise_preempt(event.subject);
@@ -502,8 +555,8 @@ bool Sim::check_epochs() {
   // Finished ranks hold their final epoch count, so the global epoch
   // keeps advancing (and the last epoch gets reported) as ranks exit.
   int min_epochs = std::numeric_limits<int>::max();
-  for (const RankRt& rt : ranks_) {
-    min_epochs = std::min(min_epochs, rt.epochs);
+  for (const int epochs : epochs_) {
+    min_epochs = std::min(min_epochs, epochs);
   }
   if (min_epochs == std::numeric_limits<int>::max() ||
       min_epochs <= reported_epochs_) {
@@ -518,10 +571,10 @@ bool Sim::check_epochs() {
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     RankRt& rt = ranks_[r];
     // Materialise the lazy accumulators up to the snapshot point.
-    if (rt.state == RunState::kComputing && !preempted(r)) {
+    if (state_[r] == RunState::kComputing && !preempted(r)) {
       accrue(r);
-    } else if (rt.state == RunState::kAtBarrier ||
-               rt.state == RunState::kAtWaitAll) {
+    } else if (state_[r] == RunState::kAtBarrier ||
+               state_[r] == RunState::kAtWaitAll) {
       rt.acc_wait += now_ - rt.wait_since;
       rt.wait_since = now_;
     }
@@ -530,7 +583,7 @@ bool Sim::check_epochs() {
     rt.acc_wait = 0.0;
   }
   emit_meta(EventKind::kEpochEnd, static_cast<std::uint32_t>(report.epoch));
-  bus_.notify_epoch(report);
+  if (observed_) bus_.notify_epoch(report);
   return true;
 }
 
@@ -538,16 +591,19 @@ void Sim::deadlock() const {
   std::ostringstream os;
   os << "MPI application deadlocked at t=" << now_ << "s; rank states:";
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    os << " P" << (r + 1) << "=" << to_string(ranks_[r].state) << "(phase "
+    os << " P" << (r + 1) << "=" << to_string(state_[r]) << "(phase "
        << ranks_[r].phase << ")";
   }
   throw SimulationError(os.str());
 }
 
 RunStats Sim::run() {
-  bus_.notify_bind(this);
+  // Latched once: attach order is fixed before run() (Engine enforces it),
+  // so an unobserved run skips every notification dispatch below.
+  observed_ = !bus_.empty();
+  if (observed_) bus_.notify_bind(this);
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    if (ranks_[r].state != RunState::kDone) advance_rank(r);
+    if (state_[r] != RunState::kDone) advance_rank(r);
   }
   refresh_rates();
   if (epochs_dirty_ && check_epochs()) refresh_rates();
@@ -563,7 +619,7 @@ RunStats Sim::run() {
     if (is_stale(event)) continue;
     now_ = std::max(now_, event.time);
     ++events_;
-    bus_.notify_event(event);
+    if (observed_) bus_.notify_event(event);
     dispatch(event);
     refresh_rates();
     if (epochs_dirty_ && check_epochs()) refresh_rates();
@@ -573,7 +629,7 @@ RunStats Sim::run() {
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     set_trace(r, trace::RankState::kDone);
   }
-  bus_.notify_finish(now_);
+  if (observed_) bus_.notify_finish(now_);
   return RunStats{now_, events_};
 }
 

@@ -135,6 +135,16 @@ class Sim final : public CollectiveClient, public AuditSource {
     std::uint64_t load_key = 0;
     bool have_rates = false;
     smt::SampleResult rates{};
+    // Incremental ChipLoad::key() derivation: `words` holds the last
+    // derived per-context (kernel, priority) word (0 = idle), `chain[i]`
+    // the key-hash chain state after mixing word i, and `used` the
+    // engaged-prefix length the chain was seeded with. refresh_rates()
+    // re-mixes only the suffix from the first changed word (from 0 when
+    // the prefix length — the chain seed — changed), so the steady state
+    // costs one word-compare per context, no hashing, no ChipLoad.
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> chain;
+    std::uint32_t used = 0;
   };
 
   [[nodiscard]] NodeRt& node_of(std::size_t rank) {
@@ -176,7 +186,24 @@ class Sim final : public CollectiveClient, public AuditSource {
   ObserverBus& bus_;
 
   std::vector<NodeRt> nodes_;
-  std::vector<RankRt> ranks_;
+  std::vector<RankRt> ranks_;  ///< cold per-rank bookkeeping
+  // Hot rank state, structure-of-arrays (parallel, indexed by rank id):
+  // the per-event scans — staleness checks, rate refresh, load words,
+  // collective release, epoch minima — walk these dense arrays instead of
+  // chasing per-rank objects.
+  std::vector<RunState> state_;
+  std::vector<isa::KernelId> kernel_of_rank_;
+  std::vector<SimTime> ready_at_;  ///< barrier release / waitall completion
+  std::vector<int> epochs_;
+  // Compute integration: `remaining_` is exact as of `accrued_at_`; the
+  // rank progresses at `rate_` until the next accrual boundary. A queued
+  // kComputeDone prediction is valid while `pred_valid_` is set and its
+  // generation matches `compute_gen_` (lazy invalidation).
+  std::vector<double> remaining_;
+  std::vector<double> rate_;
+  std::vector<SimTime> accrued_at_;
+  std::vector<std::uint8_t> pred_valid_;
+  std::vector<std::uint64_t> compute_gen_;
   isa::KernelId spin_kernel_;
   Collectives collectives_;
   EventQueue queue_;
@@ -196,6 +223,10 @@ class Sim final : public CollectiveClient, public AuditSource {
   std::size_t done_count_ = 0;
   int reported_epochs_ = 0;
   bool epochs_dirty_ = false;
+  /// Whether the bus has any observer, latched once at the top of run();
+  /// when false, every notify dispatch (and the Event materialisation
+  /// feeding it) is skipped — the state-bearing work still runs.
+  bool observed_ = true;
   SimTime now_ = 0.0;
   std::uint64_t events_ = 0;  ///< processed (non-stale) events
   std::uint64_t pops_ = 0;    ///< all pops, the runaway guard's measure

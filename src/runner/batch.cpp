@@ -162,6 +162,11 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
     batch.cache_stats.hits += stats.hits;
     batch.cache_stats.misses += stats.misses;
     batch.cache_stats.inserts += stats.inserts;
+    batch.cache_stats.evictions += stats.evictions;
+    // Peak sizes of independent domains do not sum (they peak at
+    // different moments); report the largest single-domain high-water.
+    batch.cache_stats.peak_size =
+        std::max(batch.cache_stats.peak_size, stats.peak_size);
   }
   for (const auto& worker_samplers : samplers) {
     for (const auto& sampler : worker_samplers) {
@@ -170,6 +175,7 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
       batch.sampler_stats.lookups += stats.lookups;
       batch.sampler_stats.misses += stats.misses;
       batch.sampler_stats.shared_hits += stats.shared_hits;
+      batch.sampler_stats.local_hits += stats.local_hits;
     }
   }
   return batch;

@@ -157,14 +157,21 @@ std::string to_json_batch_record(const BatchResult& batch) {
   std::ostringstream os;
   const smt::SamplerStats& sampler = batch.sampler_stats;
   const smt::SampleCacheStats& cache = batch.cache_stats;
-  os << "{\"schema\":\"smtbal.bench.batch/1\",\"jobs\":" << batch.jobs
+  // Schema /2: local_hits is now the sampler's own explicit counter. The
+  // /1 trailer derived it as lookups - misses - shared_hits, which counts
+  // a shared-hit promotion's later local hits and cold local hits as one
+  // bucket — wrong whenever a shared cache is attached.
+  os << "{\"schema\":\"smtbal.bench.batch/2\",\"jobs\":" << batch.jobs
      << ",\"runs\":" << batch.runs.size()
      << ",\"failures\":" << batch.failures
      << ",\"sampler\":{\"lookups\":" << sampler.lookups
      << ",\"misses\":" << sampler.misses
      << ",\"shared_hits\":" << sampler.shared_hits
+     << ",\"local_hits\":" << sampler.local_hits
      << "},\"sample_cache\":{\"hits\":" << cache.hits
      << ",\"misses\":" << cache.misses << ",\"inserts\":" << cache.inserts
+     << ",\"evictions\":" << cache.evictions
+     << ",\"peak_size\":" << cache.peak_size
      << ",\"hit_rate\":" << json_num(cache.hit_rate()) << "}}";
   return os.str();
 }

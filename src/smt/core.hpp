@@ -24,7 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -133,18 +132,74 @@ class Core {
   [[nodiscard]] std::uint64_t next_seq(ThreadSlot slot) const;
 
  private:
-  struct InFlight {
-    isa::MicroOp op;
-    std::uint64_t seq = 0;
+  /// "No candidate" sentinel for ready-mask scans.
+  static constexpr std::uint32_t kNoneSlot = 0xFFFFFFFFu;
+  /// issue() pick-loop marker: this thread's next candidate needs a rescan.
+  static constexpr std::uint32_t kScanPending = 0xFFFFFFFEu;
+  /// Dependency stalls longer than this leave the ready mask and sleep on
+  /// the wake heap; shorter ones are re-rejected in place (cheaper than
+  /// two heap operations). Purely a cost trade-off — either policy issues
+  /// the same ops on the same cycles.
+  static constexpr Cycle kSleepHorizon = 8;
+
+  /// The window is stored structure-of-arrays: the fields issue()'s
+  /// per-cycle scan reads live in a compact HotSlot, everything touched
+  /// only when an entry is actually decoded, picked, issued or retired
+  /// lives in the parallel ColdSlot array, and issue eligibility is a
+  /// per-slot bitmask so the candidate scan is word-wise instead of a
+  /// pointer chase.
+  struct HotSlot {
     Cycle decode_cycle = 0;
-    Cycle completion = 0;  ///< valid once issued
+    /// Earliest cycle at which this entry's register dependency can be
+    /// satisfied (the producer's completion). While now_ is below this the
+    /// entry is skipped — or slept on the wake heap for long bounds —
+    /// without re-deriving the dependency; a failed dependency check has no
+    /// side effects, so that is identical to re-examining it every cycle.
+    Cycle stall_until = 0;
+    /// Head of this entry's consumer chain: entries whose register
+    /// dependency points at this one and which were decoded before it
+    /// issued. They sleep (ready bit clear) until this entry issues, at
+    /// which point its completion becomes their exact wake bound.
+    std::uint32_t consumer_head = kNoneSlot;
+    std::uint32_t next_consumer = kNoneSlot;
     bool issued = false;
   };
 
+  struct ColdSlot {
+    isa::MicroOp op;
+    std::uint64_t seq = 0;
+    Cycle completion = 0;  ///< valid once issued
+  };
+
+  /// Scheduled re-insertion of a slept entry into the ready mask.
+  struct WakeEvent {
+    Cycle at = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Per-context state. The in-flight window is a fixed-capacity ring over
+  /// this thread's slice of the shared `window_arena_` (program order,
+  /// `head` = oldest); `issued` is monotone until retire, so the unissued
+  /// entries form a suffix-free sublist that the intrusive list tracks
+  /// exactly. This replaces a std::deque whose per-cycle skip-issued scan
+  /// dominated the whole simulator's profile.
   struct ThreadState {
     isa::StreamGen* stream = nullptr;
     HwPriority priority = kDefaultPriority;
-    std::deque<InFlight> window;  // program order, front = oldest
+    HotSlot* hot = nullptr;    ///< this thread's arena slice (ring storage)
+    ColdSlot* cold = nullptr;  ///< parallel array, same indexing
+    /// One bit per ring slot: set while the entry is unissued and not
+    /// provably dependency-stalled (i.e. an issue candidate).
+    std::uint64_t* ready = nullptr;
+    /// Population count of `ready`, maintained by set_ready/clear_ready so
+    /// issue() can skip threads — and whole cycles — with no candidates.
+    std::uint32_t ready_count = 0;
+    /// Min-heap on `at`: entries slept by a known stall bound, re-inserted
+    /// into `ready` once now_ reaches the bound. At most one pending wake
+    /// per slot (an entry can only be re-examined after its wake fires).
+    std::vector<WakeEvent> wakes;
+    std::uint32_t head = 0;   ///< ring index of the oldest entry
+    std::uint32_t count = 0;  ///< live entries in the ring
     std::uint64_t next_seq = 0;
     /// Pending mispredicted branch blocks further decode until it issues
     /// and its redirect completes.
@@ -154,6 +209,9 @@ class Core {
     /// Front-end state: true when the fetch buffer is empty this cycle
     /// (drawn per cycle from the kernel's fetch_gap_fraction).
     bool fetch_empty = false;
+    /// Cached kernel fetch_gap_fraction (StreamGen params are immutable,
+    /// so caching at bind time changes no RNG draw).
+    double fetch_gap = 0.0;
     Rng front_end_rng{0};
     ThreadPerf perf;
   };
@@ -162,21 +220,53 @@ class Core {
   [[nodiscard]] bool can_decode(const ThreadState& thread) const;
   void decode_thread(ThreadState& thread);
   void issue();
-  void issue_op(ThreadState& thread, InFlight& entry);
+  void issue_op(ThreadState& thread, std::uint32_t slot);
   void retire(ThreadState& thread);
-  [[nodiscard]] bool dep_satisfied(const ThreadState& thread,
-                                   const InFlight& entry) const;
+  [[nodiscard]] Cycle dep_stall_until(const ThreadState& thread,
+                                      std::uint32_t slot) const;
+  void clear_window(ThreadState& thread);
+  void process_wakes(ThreadState& thread);
+  void sleep_entry(ThreadState& thread, std::uint32_t slot, Cycle until);
+  /// Idempotent ready-bit updates that keep `ready_count` exact.
+  static void set_ready(ThreadState& thread, std::uint32_t slot) {
+    std::uint64_t& word = thread.ready[slot >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+    thread.ready_count += static_cast<std::uint32_t>((word & bit) == 0);
+    word |= bit;
+  }
+  static void clear_ready(ThreadState& thread, std::uint32_t slot) {
+    std::uint64_t& word = thread.ready[slot >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (slot & 63);
+    thread.ready_count -= static_cast<std::uint32_t>((word & bit) != 0);
+    word &= ~bit;
+  }
+  /// First ready slot at program-order position >= pos (pos updated to the
+  /// found position); kNoneSlot when none remain.
+  [[nodiscard]] std::uint32_t next_ready(const ThreadState& thread,
+                                         std::uint32_t& pos) const;
+  [[nodiscard]] static std::uint32_t scan_bits(const std::uint64_t* words,
+                                               std::uint32_t lo,
+                                               std::uint32_t hi);
 
   CoreConfig config_;
   mem::Hierarchy& hierarchy_;
   std::uint32_t core_index_;
   DecodeArbiter arbiter_;
   std::vector<ThreadState> threads_;
+  /// Backing store for every thread's window ring: thread t owns slots
+  /// [t * (ring_mask_ + 1), (t + 1) * (ring_mask_ + 1)). One allocation
+  /// each, never resized after construction.
+  std::vector<HotSlot> hot_arena_;
+  std::vector<ColdSlot> cold_arena_;
+  std::vector<std::uint64_t> ready_arena_;
+  std::uint32_t ring_mask_ = 0;    ///< ring capacity - 1 (power of two)
+  std::uint32_t ready_words_ = 0;  ///< 64-bit words per thread in ready_arena_
   std::uint32_t gct_used_ = 0;
   Cycle now_ = 0;
   /// Per-cycle scratch (sized num_threads once; step() is the hot path).
   std::vector<ThreadSignals> signals_;
-  std::vector<std::size_t> issue_cursor_;
+  std::vector<std::uint32_t> issue_cursor_;
+  std::vector<std::uint32_t> issue_candidate_;
 };
 
 }  // namespace smtbal::smt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -220,14 +221,17 @@ void DecodeArbiter::rebuild() {
                    [this](std::size_t lhs, std::size_t rhs) {
                      return level(priorities_[lhs]) > level(priorities_[rhs]);
                    });
+  slice_pow2_ = std::has_single_bit(schedule_.slice_cycles);
+  slice_mask_ = schedule_.slice_cycles - 1;
 }
 
 int DecodeArbiter::grant(Cycle cycle,
                          std::span<const ThreadSignals> signals) const {
   SMTBAL_REQUIRE(signals.size() == priorities_.size(),
                  "one ThreadSignals per context");
-  const std::int32_t owner =
-      schedule_.owner_of_pos[cycle % schedule_.slice_cycles];
+  const std::uint64_t pos =
+      slice_pow2_ ? (cycle & slice_mask_) : (cycle % schedule_.slice_cycles);
+  const std::int32_t owner = schedule_.owner_of_pos[pos];
   if (owner < 0) return -1;  // unowned power-save gap: never reassigned
   if (signals[owner].wants) return owner;
   // The slot is given away when (a) its owner is fetch-starved, (b) the

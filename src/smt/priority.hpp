@@ -189,6 +189,12 @@ class DecodeArbiter {
   DecodeShare share_;  ///< pair view, maintained when num_contexts() == 2
   /// Donation candidates, highest priority first (ties: lowest slot).
   std::vector<std::size_t> donation_order_;
+  /// Fast-path grant state, precomputed by rebuild(): every 2-context
+  /// Table II/III slice length is a power of two (R = 2^(|X-Y|+1), 32, 64),
+  /// so the per-cycle slice position is a mask instead of a 64-bit modulo
+  /// on the dominant path. Non-power-of-two N-way slices fall back.
+  std::uint64_t slice_mask_ = 0;
+  bool slice_pow2_ = false;
 };
 
 }  // namespace smtbal::smt

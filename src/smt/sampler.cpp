@@ -1,5 +1,6 @@
 #include "smt/sampler.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,20 +26,17 @@ std::uint64_t ChipLoad::key() const {
   std::size_t used = contexts.size();
   while (used > 0 && !contexts[used - 1].has_value()) --used;
   std::uint64_t engaged = 0;
-  std::uint64_t state = 0x5b17'ba1a'ce00'0001ULL ^ used;
+  std::uint64_t state = chain_seed(used);
   for (std::size_t ctx = 0; ctx < used; ++ctx) {
     const auto& slot = contexts[ctx];
     std::uint64_t word = 0;
     if (slot.has_value()) {
       ++engaged;
-      word = (std::uint64_t{slot->kernel} + 1) << 4 |
-             static_cast<std::uint64_t>(slot->priority);
+      word = context_word(slot->kernel, slot->priority);
     }
-    std::uint64_t mixed = state ^ word;
-    state = splitmix64(mixed);  // full avalanche per context word
+    state = chain_mix(state, word);
   }
-  std::uint64_t tail = state ^ (engaged << 32 | used);
-  return splitmix64(tail);
+  return chain_finish(state, engaged, used);
 }
 
 ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
@@ -64,11 +62,36 @@ std::optional<SampleResult> SampleCache::lookup(std::uint64_t key) {
   return std::nullopt;
 }
 
+void SampleCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (map_.size() > capacity_) {
+    map_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t SampleCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
 void SampleCache::publish(std::uint64_t key, const SampleResult& result) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = map_.emplace(key, result);
   if (inserted) {
     ++stats_.inserts;
+    insertion_order_.push_back(key);
+    if (capacity_ != 0 && map_.size() > capacity_) {
+      map_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+      ++stats_.evictions;
+    }
+    // Resident high-water mark, recorded after any eviction: a bounded
+    // cache never reports a peak above its capacity.
+    stats_.peak_size = std::max<std::uint64_t>(stats_.peak_size, map_.size());
     return;
   }
   // First writer wins — but a re-publish is only legal when both writers
@@ -98,17 +121,30 @@ std::size_t SampleCache::size() const {
 }
 
 const SampleResult& ThroughputSampler::sample(const ChipLoad& load) {
-  ++stats_.lookups;
   const std::uint64_t key = load.key();
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (const SampleResult* hit = probe(key)) return *hit;
+  return sample_measured(key, load);
+}
+
+const SampleResult* ThroughputSampler::probe(std::uint64_t key) {
+  ++stats_.lookups;
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.local_hits;
+    return &it->second;
+  }
   if (shared_cache_ != nullptr) {
     if (std::optional<SampleResult> shared = shared_cache_->lookup(key)) {
       ++stats_.shared_hits;
       auto [it, inserted] = cache_.emplace(key, *shared);
       SMTBAL_CHECK(inserted);
-      return it->second;
+      return &it->second;
     }
   }
+  return nullptr;
+}
+
+const SampleResult& ThroughputSampler::sample_measured(std::uint64_t key,
+                                                       const ChipLoad& load) {
   ++stats_.misses;
   auto [it, inserted] = cache_.emplace(key, measure(load));
   SMTBAL_CHECK(inserted);

@@ -12,11 +12,13 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "isa/kernel.hpp"
 #include "smt/chip.hpp"
 
@@ -58,6 +60,35 @@ struct ChipLoad {
   /// the first load would be served for the second. No kernel-id range
   /// restriction applies.
   [[nodiscard]] std::uint64_t key() const;
+
+  // The key's hash chain, exposed piecewise so callers that track the
+  // per-context words themselves (mpisim::detail::Sim) can re-mix only
+  // the suffix from the first changed context instead of rehashing the
+  // whole prefix on every event. key() is implemented on exactly these
+  // helpers, so an incremental chain produces bit-identical keys.
+
+  /// The word key() mixes for an engaged context (never 0; idle mixes 0).
+  [[nodiscard]] static constexpr std::uint64_t context_word(
+      isa::KernelId kernel, HwPriority priority) {
+    return (std::uint64_t{kernel} + 1) << 4 |
+           static_cast<std::uint64_t>(priority);
+  }
+  /// Chain state before the first context word, for a `used`-long prefix.
+  [[nodiscard]] static constexpr std::uint64_t chain_seed(std::uint64_t used) {
+    return 0x5b17'ba1a'ce00'0001ULL ^ used;
+  }
+  /// Mixes one context word into the chain (full avalanche per word).
+  [[nodiscard]] static constexpr std::uint64_t chain_mix(std::uint64_t state,
+                                                         std::uint64_t word) {
+    std::uint64_t mixed = state ^ word;
+    return splitmix64(mixed);
+  }
+  /// Final fold of the engaged-context count and prefix length.
+  [[nodiscard]] static constexpr std::uint64_t chain_finish(
+      std::uint64_t state, std::uint64_t engaged, std::uint64_t used) {
+    std::uint64_t tail = state ^ (engaged << 32 | used);
+    return splitmix64(tail);
+  }
 };
 
 /// Steady-state rates measured for one chip configuration.
@@ -76,12 +107,22 @@ struct SamplerStats {
   std::uint64_t lookups = 0;
   std::uint64_t misses = 0;       ///< cycle-level simulations actually run
   std::uint64_t shared_hits = 0;  ///< local misses served by a shared cache
+  /// Lookups served by the sampler's own memo table. Tracked explicitly:
+  /// deriving it as lookups - misses - shared_hits conflates a shared-hit
+  /// promotion's later local hits with cold local hits, which the batch
+  /// JSONL trailer used to report incorrectly.
+  std::uint64_t local_hits = 0;
 };
 
 struct SampleCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
+  /// Entries FIFO-evicted by a capacity limit (0 when unbounded).
+  std::uint64_t evictions = 0;
+  /// High-water mark of the entry count (bounds the memory footprint of
+  /// long daemon-style campaigns).
+  std::uint64_t peak_size = 0;
   /// Re-publishes of an existing key with a *different* SampleResult.
   /// Under the documented invariant (one cache per sampler domain,
   /// measure() pure) this is always 0; a non-zero count means a
@@ -121,6 +162,14 @@ class SampleCache {
   void set_strict(bool strict) { strict_ = strict; }
   [[nodiscard]] bool strict() const { return strict_; }
 
+  /// Bounds the cache to `capacity` entries with deterministic
+  /// insertion-order (FIFO) eviction; 0 (the default) keeps it unbounded,
+  /// so existing runs are byte-identical. An evicted key that recurs is
+  /// simply re-measured and re-inserted — with measure() pure, eviction
+  /// affects memory and counters, never results.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
   /// Snapshot of the hit/miss counters (totals across all attached
   /// samplers; order-dependent under concurrency — report, don't compare).
   [[nodiscard]] SampleCacheStats stats() const;
@@ -130,6 +179,8 @@ class SampleCache {
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, SampleResult> map_;
+  std::deque<std::uint64_t> insertion_order_;  ///< FIFO eviction order
+  std::size_t capacity_ = 0;                   ///< 0 = unbounded
   SampleCacheStats stats_;
 #ifdef NDEBUG
   bool strict_ = false;
@@ -157,6 +208,16 @@ class ThroughputSampler {
   /// cache is attached, local misses consult it before measuring and
   /// measured results are published back to it.
   const SampleResult& sample(const ChipLoad& load);
+
+  /// Split form of sample() for callers that already hold the load's
+  /// key() (the engine's incremental key chain): probe() answers from the
+  /// local memo / shared cache without needing the ChipLoad at all
+  /// (nullptr on miss), and sample_measured() runs the cycle model for a
+  /// probed-and-missed load. sample(load) ==
+  /// probe(load.key()) ?: sample_measured(load.key(), load), counters
+  /// included, so the two forms are interchangeable per lookup.
+  [[nodiscard]] const SampleResult* probe(std::uint64_t key);
+  const SampleResult& sample_measured(std::uint64_t key, const ChipLoad& load);
 
   /// Attaches a cross-thread result cache (may be nullptr to detach). The
   /// caller must only share one cache between samplers constructed from

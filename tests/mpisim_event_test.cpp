@@ -3,6 +3,8 @@
 // noise-preemption-at-barrier-release boundary case.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -104,6 +106,113 @@ TEST(EventQueue, RandomisedHeapKeepsTotalOrder) {
 TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue queue;
   EXPECT_THROW(queue.pop(), std::logic_error);
+}
+
+TEST(EventQueue, TopOnEmptyFailsLoudlyInDebug) {
+  // top() on an empty queue is a documented precondition violation:
+  // SMTBAL_DCHECK makes it throw in debug builds (release compiles the
+  // check out of the hot path). Regression: it used to read
+  // heap_.front() of an empty vector — silent undefined behaviour.
+  EventQueue queue;
+#ifndef NDEBUG
+  EXPECT_THROW((void)queue.top(), std::logic_error);
+#endif
+  queue.push(1.0, EventKind::kDelayDone, 7);
+  EXPECT_EQ(queue.top().subject, 7u);
+  EXPECT_NO_THROW((void)queue.top());
+}
+
+TEST(EventQueue, TopMatchesPopAcrossArenaChurn) {
+  // top() materialises from the arena; it must agree with the following
+  // pop() even while slots recycle through the free list.
+  EventQueue queue;
+  std::uint64_t lcg = 99;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      queue.push(static_cast<double>(lcg >> 59), EventKind::kMsgArrival, 0, 0,
+                 MsgPayload{static_cast<std::uint32_t>(lcg >> 32),
+                            static_cast<std::uint32_t>(lcg), round});
+    }
+    for (int i = 0; i < 3; ++i) {
+      const Event& top = queue.top();
+      const SimTime top_time = top.time;
+      const std::uint64_t top_seq = top.seq;
+      const std::uint32_t top_src = top.msg.src;
+      const Event popped = queue.pop();
+      EXPECT_EQ(popped.time, top_time);
+      EXPECT_EQ(popped.seq, top_seq);
+      EXPECT_EQ(popped.msg.src, top_src);
+    }
+  }
+}
+
+TEST(EventQueue, ArenaRecyclesSlotsThroughFreeList) {
+  // The arena footprint is bounded by the peak queue depth, not by the
+  // total number of events pushed: popped slots are reused.
+  EventQueue queue;
+  for (int i = 0; i < 1000; ++i) {
+    queue.push(static_cast<double>(i), EventKind::kComputeDone,
+               static_cast<std::uint32_t>(i));
+    queue.push(static_cast<double>(i) + 0.5, EventKind::kDelayDone,
+               static_cast<std::uint32_t>(i));
+    (void)queue.pop();
+    (void)queue.pop();
+  }
+  EXPECT_EQ(queue.pushed(), 2000u);
+  EXPECT_LE(queue.arena_slots(), 2u);
+}
+
+TEST(EventQueue, ArenaPayloadsSurviveRecyclingProperty) {
+  // Property test for the SoA/arena layout: under pseudo-random
+  // interleaved pushes and pops, every pop must (a) respect the (time,
+  // seq) total order and (b) return exactly the payload pushed with that
+  // seq — i.e. handle/body association survives free-list recycling.
+  EventQueue queue;
+  std::map<std::uint64_t, Event> expected_by_seq;  // seq -> pushed event
+  std::map<std::pair<SimTime, std::uint64_t>, std::uint64_t> model;  // -> seq
+  std::uint64_t lcg = 2024;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg;
+  };
+  const auto check_pop = [&] {
+    const Event event = queue.pop();
+    // (a) Exactly the minimum (time, seq) currently queued in the model.
+    ASSERT_FALSE(model.empty());
+    EXPECT_EQ(event.time, model.begin()->first.first);
+    EXPECT_EQ(event.seq, model.begin()->second);
+    model.erase(model.begin());
+    const auto it = expected_by_seq.find(event.seq);
+    ASSERT_NE(it, expected_by_seq.end());
+    EXPECT_EQ(event.time, it->second.time);
+    EXPECT_EQ(static_cast<int>(event.kind), static_cast<int>(it->second.kind));
+    EXPECT_EQ(event.subject, it->second.subject);
+    EXPECT_EQ(event.generation, it->second.generation);
+    EXPECT_EQ(event.msg.src, it->second.msg.src);
+    EXPECT_EQ(event.msg.dst, it->second.msg.dst);
+    EXPECT_EQ(event.msg.tag, it->second.msg.tag);
+    expected_by_seq.erase(it);
+  };
+  for (int step = 0; step < 3000; ++step) {
+    if (queue.empty() || next() % 3 != 0) {
+      const auto time = static_cast<double>(next() % 64);
+      const auto kind = static_cast<EventKind>(next() % kNumEventKinds);
+      const auto subject = static_cast<std::uint32_t>(next());
+      const std::uint64_t generation = next();
+      const MsgPayload msg{static_cast<std::uint32_t>(next()),
+                           static_cast<std::uint32_t>(next()),
+                           static_cast<int>(next() % 100)};
+      const std::uint64_t seq = queue.push(time, kind, subject, generation, msg);
+      expected_by_seq.emplace(
+          seq, Event{time, seq, kind, subject, generation, msg});
+      model.emplace(std::pair{time, seq}, seq);
+    } else {
+      check_pop();
+    }
+  }
+  while (!queue.empty()) check_pop();
+  EXPECT_TRUE(expected_by_seq.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -367,11 +367,12 @@ TEST(Smt4Engine, BatchRunnerCarriesTheSmt4Chip) {
   for (std::string line; std::getline(is, line);) lines.push_back(line);
   ASSERT_EQ(lines.size(), batch.runs.size() + 1);
   for (std::size_t i = 0; i < batch.runs.size(); ++i) {
-    EXPECT_EQ(lines[i].find("smtbal.bench.batch/1"), std::string::npos);
+    EXPECT_EQ(lines[i].find("smtbal.bench.batch/"), std::string::npos);
   }
   const std::string& trailer = lines.back();
-  EXPECT_NE(trailer.find("\"schema\":\"smtbal.bench.batch/1\""),
+  EXPECT_NE(trailer.find("\"schema\":\"smtbal.bench.batch/2\""),
             std::string::npos);
+  EXPECT_NE(trailer.find("\"local_hits\""), std::string::npos);
   EXPECT_NE(trailer.find("\"sampler\""), std::string::npos);
   EXPECT_NE(trailer.find("\"sample_cache\""), std::string::npos);
   EXPECT_EQ(trailer, runner::to_json_batch_record(batch));

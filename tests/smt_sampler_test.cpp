@@ -195,7 +195,10 @@ TEST(SampleCache, ServesPublishedResultsAndCountsHits) {
   const auto hit = cache.lookup(42);
   ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->ipc[0], 1.25);
-  // Duplicate publish: first writer wins, no double insert.
+  // Duplicate publish: first writer wins, no double insert. The
+  // deliberately divergent value needs lenient mode — strict (the debug
+  // default) makes a divergent re-publish fatal.
+  cache.set_strict(false);
   SampleResult other;
   other.ipc[0] = 9.0;
   cache.publish(42, other);
@@ -206,6 +209,75 @@ TEST(SampleCache, ServesPublishedResultsAndCountsHits) {
   EXPECT_EQ(stats.inserts, 1u);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_NEAR(stats.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SampleCache, CapacityEvictsOldestInsertionFirst) {
+  // Bounded mode evicts deterministically in FIFO insertion order, so a
+  // capped run is still reproducible (same inserts -> same evictions).
+  SampleCache cache;
+  EXPECT_EQ(cache.capacity(), 0u) << "unbounded by default";
+  cache.set_capacity(2);
+  SampleResult result;
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    result.ipc[0] = static_cast<double>(key);
+    cache.publish(key, result);
+  }
+  // Keys 1 and 2 (the oldest inserts) were evicted; 3 and 4 survive.
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  ASSERT_TRUE(cache.lookup(3).has_value());
+  EXPECT_DOUBLE_EQ(cache.lookup(3)->ipc[0], 3.0);
+  ASSERT_TRUE(cache.lookup(4).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  const SampleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.peak_size, 2u);
+}
+
+TEST(SampleCache, SetCapacityShrinksExistingEntries) {
+  SampleCache cache;
+  SampleResult result;
+  for (std::uint64_t key = 10; key < 15; ++key) cache.publish(key, result);
+  EXPECT_EQ(cache.stats().peak_size, 5u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  // FIFO: the three oldest (10, 11, 12) went first.
+  EXPECT_FALSE(cache.lookup(10).has_value());
+  EXPECT_FALSE(cache.lookup(12).has_value());
+  EXPECT_TRUE(cache.lookup(13).has_value());
+  EXPECT_TRUE(cache.lookup(14).has_value());
+  // peak_size is a high-water mark; shrinking does not rewind it.
+  EXPECT_EQ(cache.stats().peak_size, 5u);
+}
+
+TEST(SampleCache, UnboundedByDefaultNeverEvicts) {
+  SampleCache cache;
+  SampleResult result;
+  for (std::uint64_t key = 0; key < 100; ++key) cache.publish(key, result);
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().peak_size, 100u);
+}
+
+TEST(Sampler, CountsLocalHitsExplicitly) {
+  // local_hits is its own counter, not derived: deriving it as
+  // lookups - misses - shared_hits lumps post-promotion hits and cold
+  // local hits together whenever a shared cache is attached.
+  ThroughputSampler sampler(ChipConfig{}, fast_options());
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  (void)sampler.sample(load);
+  EXPECT_EQ(sampler.stats().misses, 1u);
+  EXPECT_EQ(sampler.stats().local_hits, 0u);
+  (void)sampler.sample(load);
+  (void)sampler.sample(load);
+  const SamplerStats& stats = sampler.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.local_hits, 2u);
+  EXPECT_EQ(stats.shared_hits, 0u);
 }
 
 TEST(Sampler, SharedCacheAvoidsRemeasuring) {
