@@ -3,18 +3,63 @@
 // resulting trace exported in PARAVER .prv format for the real tool.
 //
 //   $ ./dynamic_balancing [out.prv]
+//   $ ./dynamic_balancing --policy allocation:interval=2
+//   $ ./dynamic_balancing --list-policies
+//
+// --policy swaps the balancer for any policy::Registry spec (unknown
+// names fail with a did-you-mean suggestion); --list-policies prints the
+// registry with each policy's config-string schema.
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "core/balancer.hpp"
-#include "core/dynamic_policy.hpp"
+#include "policy/registry.hpp"
 #include "trace/gantt.hpp"
 #include "trace/paraver.hpp"
 #include "workloads/siesta.hpp"
 
 using namespace smtbal;
 
+namespace {
+
+void list_policies() {
+  std::cout << "Registered policies (spec syntax: name[:key=value,...]):\n";
+  for (const policy::PolicyInfo& info : policy::Registry::instance().list()) {
+    std::cout << "\n  " << info.name << "\n    " << info.summary << '\n';
+    if (!info.schema.empty()) {
+      std::cout << "    keys: " << info.schema << '\n';
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::string spec = "dynamic";
+  std::string path = "dynamic_balancing.prv";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-policies") {
+      list_policies();
+      return 0;
+    }
+    if (arg == "--policy") {
+      if (++i >= argc) {
+        std::cerr << "--policy requires a registry spec\n";
+        return 2;
+      }
+      spec = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dynamic_balancing [out.prv] [--policy SPEC] "
+                   "[--list-policies]\n";
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+
   workloads::SiestaConfig config;
   config.iterations = 16;
   const auto app = workloads::build_siesta(config);
@@ -23,23 +68,33 @@ int main(int argc, char** argv) {
   // a sane placement is a precondition for priority balancing.
   const auto placement = mpisim::Placement::from_linear({2, 0, 1, 3});
 
+  // Build the policy by name so any registered family — priorities,
+  // placement moves, budgets — can drive the same run.
+  policy::PolicyContext context;
+  context.num_ranks = app.size();
+  context.placement = &placement;
+  std::unique_ptr<mpisim::BalancePolicy> policy;
+  try {
+    policy = policy::Registry::instance().make(spec, context);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
   core::Balancer balancer;
   const auto baseline = balancer.run(app, placement);
   std::cout << "no balancing:     exec " << baseline.exec_time
             << " s, imbalance " << baseline.imbalance * 100 << " %\n";
 
-  core::DynamicBalancer policy;  // conservative defaults: gap <= 1
-  const auto balanced = balancer.run(app, placement, &policy);
-  std::cout << "dynamic balancer: exec " << balanced.exec_time
+  const auto balanced = balancer.run(app, placement, policy.get());
+  std::cout << policy->name() << ": exec " << balanced.exec_time
             << " s, imbalance " << balanced.imbalance * 100 << " % ("
-            << policy.adjustments() << " priority rewrites, "
             << (1.0 - balanced.exec_time / baseline.exec_time) * 100.0
             << "% faster)\n\n";
 
   std::cout << "balanced trace:\n"
             << trace::render_gantt(balanced.trace, {.width = 96});
 
-  const std::string path = argc > 1 ? argv[1] : "dynamic_balancing.prv";
   std::ofstream out(path);
   out << trace::to_prv(balanced.trace);
   std::cout << "\nPARAVER trace written to " << path << " ("

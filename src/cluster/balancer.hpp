@@ -98,6 +98,9 @@ class TwoLevelBalancer final : public mpisim::BalancePolicy {
     [[nodiscard]] os::KernelModel& kernel() override {
       return global_->kernel();
     }
+    [[nodiscard]] std::uint32_t threads_per_core() const override {
+      return global_->threads_per_core();
+    }
 
    private:
     [[nodiscard]] RankId global_id(RankId local) const {

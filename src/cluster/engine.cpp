@@ -88,18 +88,55 @@ void ClusterEngine::add_observer(mpisim::SimObserver* observer) {
   observers_.push_back(observer);
 }
 
+void ClusterEngine::check_rank(RankId rank, const char* who) const {
+  if (rank.value() >= app_.size()) {
+    throw InvalidArgument(std::string(who) + ": rank out of range — got rank " +
+                          std::to_string(rank.value()) + ", have " +
+                          std::to_string(app_.size()) + " rank(s)");
+  }
+}
+
+int ClusterEngine::priority_sum(std::uint32_t node) const {
+  const os::KernelModel& kernel = *kernels_[node];
+  int sum = 0;
+  for (std::uint32_t ctx = 0; ctx < config_.node.chip.num_contexts(); ++ctx) {
+    const CpuId cpu = config_.node.chip.cpu(ctx);
+    if (!kernel.process_on(cpu).has_value()) continue;
+    sum += smt::level(kernel.effective_priority(cpu));
+  }
+  return sum;
+}
+
+std::uint32_t ClusterEngine::node_of(RankId rank) const {
+  check_rank(rank, "node_of");
+  return placement_.node_of_rank[rank.value()];
+}
+
 void ClusterEngine::set_rank_priority(RankId rank, int priority) {
   SMTBAL_REQUIRE(!pid_of_rank_.empty(),
                  "set_rank_priority is only valid from policy hooks "
                  "(processes not spawned yet)");
-  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(), "rank out of range");
-  os::KernelModel& kernel = *kernels_[placement_.node_of_rank[rank.value()]];
+  check_rank(rank, "set_rank_priority");
+  const std::uint32_t node = placement_.node_of_rank[rank.value()];
+  os::KernelModel& kernel = *kernels_[node];
   const Pid pid = pid_of_rank_[rank.value()];
   // A rank that already exited has no process to re-prioritise; ignore,
   // as a userspace balancer racing process exit would experience.
   const CpuId cpu = placement_.within.cpu_of_rank[rank.value()];
   if (kernel.process_on(cpu) != std::optional<Pid>(pid)) return;
   const int before = smt::level(kernel.effective_priority(cpu));
+  if (!budgets_.empty()) {
+    const int sum = priority_sum(node);
+    if (sum - before + priority > budgets_[node]) {
+      throw InvalidArgument(
+          "set_rank_priority: raising rank " + std::to_string(rank.value()) +
+          " from " + std::to_string(before) + " to " +
+          std::to_string(priority) + " would push node " +
+          std::to_string(node) + "'s priority sum to " +
+          std::to_string(sum - before + priority) + ", over its budget of " +
+          std::to_string(budgets_[node]));
+    }
+  }
   if (kernel.flavor() == os::KernelFlavor::kPatched) {
     kernel.write_hmt_priority(pid, priority);
   } else {
@@ -119,11 +156,123 @@ void ClusterEngine::set_rank_priority(RankId rank, int priority) {
 }
 
 int ClusterEngine::rank_priority(RankId rank) const {
-  SMTBAL_REQUIRE(rank.value() < placement_.size(), "rank out of range");
+  check_rank(rank, "rank_priority");
   const os::KernelModel& kernel =
       *kernels_[placement_.node_of_rank[rank.value()]];
   return smt::level(
       kernel.effective_priority(placement_.within.cpu_of_rank[rank.value()]));
+}
+
+void ClusterEngine::move_rank(RankId rank, CpuId to) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "move_rank is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  check_rank(rank, "move_rank");
+  if (to.linear(config_.node.chip.threads_per_core()) >=
+      config_.node.chip.num_contexts()) {
+    throw InvalidArgument(
+        "move_rank: target (core " + std::to_string(to.core.value()) +
+        ", slot " + std::to_string(to.slot.value()) +
+        ") is beyond the node chip's " +
+        std::to_string(config_.node.chip.num_contexts()) + " contexts");
+  }
+  const std::uint32_t node = placement_.node_of_rank[rank.value()];
+  os::KernelModel& kernel = *kernels_[node];
+  const Pid pid = pid_of_rank_[rank.value()];
+  const CpuId from = placement_.within.cpu_of_rank[rank.value()];
+  // An exited rank has no process to migrate; ignore, like
+  // set_rank_priority racing process exit.
+  if (kernel.process_on(from) != std::optional<Pid>(pid)) return;
+  if (from == to) return;
+  kernel.migrate(pid, to);  // throws (value-bearing) on an occupied seat
+  placement_.within.cpu_of_rank[rank.value()] = to;
+  if (sim_ != nullptr) {
+    sim_->notify_placement_change(rank, from, to);
+  } else if (active_bus_ != nullptr) {
+    active_bus_->notify_placement_change(rank, from, to, 0.0);
+  }
+}
+
+void ClusterEngine::swap_ranks(RankId a, RankId b) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "swap_ranks is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  check_rank(a, "swap_ranks");
+  check_rank(b, "swap_ranks");
+  if (a == b) return;
+  const std::uint32_t node_a = placement_.node_of_rank[a.value()];
+  const std::uint32_t node_b = placement_.node_of_rank[b.value()];
+  if (node_a != node_b) {
+    throw InvalidArgument(
+        "swap_ranks: rank " + std::to_string(a.value()) + " (node " +
+        std::to_string(node_a) + ") and rank " + std::to_string(b.value()) +
+        " (node " + std::to_string(node_b) +
+        ") live on different nodes — placement moves are within-node");
+  }
+  os::KernelModel& kernel = *kernels_[node_a];
+  const CpuId cpu_a = placement_.within.cpu_of_rank[a.value()];
+  const CpuId cpu_b = placement_.within.cpu_of_rank[b.value()];
+  // A pair with an exited member is ignored, like set_rank_priority
+  // racing process exit.
+  if (kernel.process_on(cpu_a) != std::optional<Pid>(pid_of_rank_[a.value()]) ||
+      kernel.process_on(cpu_b) != std::optional<Pid>(pid_of_rank_[b.value()])) {
+    return;
+  }
+  kernel.swap_processes(pid_of_rank_[a.value()], pid_of_rank_[b.value()]);
+  placement_.within.cpu_of_rank[a.value()] = cpu_b;
+  placement_.within.cpu_of_rank[b.value()] = cpu_a;
+  if (sim_ != nullptr) {
+    sim_->notify_placement_change(a, cpu_a, cpu_b);
+    sim_->notify_placement_change(b, cpu_b, cpu_a);
+  } else if (active_bus_ != nullptr) {
+    active_bus_->notify_placement_change(a, cpu_a, cpu_b, 0.0);
+    active_bus_->notify_placement_change(b, cpu_b, cpu_a, 0.0);
+  }
+}
+
+void ClusterEngine::install_budgets(int per_node_budget) {
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    const int sum = priority_sum(n);
+    if (per_node_budget < sum) {
+      throw InvalidArgument(
+          "install_budgets: node " + std::to_string(n) +
+          "'s current priority sum is " + std::to_string(sum) +
+          ", over the requested budget of " + std::to_string(per_node_budget));
+    }
+  }
+  budgets_.assign(config_.num_nodes, per_node_budget);
+}
+
+void ClusterEngine::transfer_budget(std::uint32_t from, std::uint32_t to,
+                                    int amount) {
+  SMTBAL_REQUIRE(!budgets_.empty(),
+                 "transfer_budget requires install_budgets() first");
+  if (from >= config_.num_nodes || to >= config_.num_nodes) {
+    throw InvalidArgument(
+        "transfer_budget: node " + std::to_string(std::max(from, to)) +
+        " out of range [0, " + std::to_string(config_.num_nodes) + ")");
+  }
+  SMTBAL_REQUIRE(amount >= 0, "transfer_budget: amount must be >= 0");
+  if (from == to || amount == 0) return;
+  const int floor = priority_sum(from);
+  if (budgets_[from] - amount < floor) {
+    throw InvalidArgument(
+        "transfer_budget: node " + std::to_string(from) + "'s budget of " +
+        std::to_string(budgets_[from]) + " cannot give up " +
+        std::to_string(amount) + " — its current priority sum is " +
+        std::to_string(floor));
+  }
+  budgets_[from] -= amount;
+  budgets_[to] += amount;
+}
+
+int ClusterEngine::node_budget(std::uint32_t node) const {
+  if (node >= config_.num_nodes) {
+    throw InvalidArgument("node_budget: node " + std::to_string(node) +
+                          " out of range [0, " +
+                          std::to_string(config_.num_nodes) + ")");
+  }
+  return budgets_.empty() ? mpisim::kUnlimitedBudget : budgets_[node];
 }
 
 ClusterRunResult ClusterEngine::run() {

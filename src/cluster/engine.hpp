@@ -91,6 +91,24 @@ class ClusterEngine final : public mpisim::EngineControl {
   /// Node 0's kernel — EngineControl predates multi-node; use
   /// node_kernel() for a specific node.
   [[nodiscard]] os::KernelModel& kernel() override { return *kernels_[0]; }
+  [[nodiscard]] std::uint32_t threads_per_core() const override {
+    return config_.node.chip.threads_per_core();
+  }
+  [[nodiscard]] std::uint32_t num_nodes() const override {
+    return config_.num_nodes;
+  }
+  [[nodiscard]] std::uint32_t node_of(RankId rank) const override;
+  /// Within-node moves only: the target seat must be free on the rank's
+  /// hosting node (cross-node migration is rank migration, a different
+  /// mechanism — see ROADMAP).
+  void move_rank(RankId rank, CpuId to) override;
+  /// Same-node pairs only; throws a value-bearing error on a cross-node
+  /// pair.
+  void swap_ranks(RankId a, RankId b) override;
+  void install_budgets(int per_node_budget) override;
+  void transfer_budget(std::uint32_t from, std::uint32_t to,
+                       int amount) override;
+  [[nodiscard]] int node_budget(std::uint32_t node) const override;
 
   [[nodiscard]] os::KernelModel& node_kernel(std::uint32_t node) {
     return *kernels_[node];
@@ -106,6 +124,11 @@ class ClusterEngine final : public mpisim::EngineControl {
   }
 
  private:
+  /// Throws a value-bearing InvalidArgument unless `rank` is in range.
+  void check_rank(RankId rank, const char* who) const;
+  /// Sum of effective priority levels over `node`'s engaged contexts.
+  [[nodiscard]] int priority_sum(std::uint32_t node) const;
+
   mpisim::Application app_;
   ClusterPlacement placement_;
   ClusterConfig config_;
@@ -115,6 +138,8 @@ class ClusterEngine final : public mpisim::EngineControl {
   mpisim::BalancePolicy* policy_ = nullptr;
   std::vector<mpisim::SimObserver*> observers_;
   std::vector<Pid> pid_of_rank_;
+  /// Per-node priority-weight budgets; empty until install_budgets().
+  std::vector<int> budgets_;
   bool ran_ = false;
   /// Set while run() is live so set_rank_priority can notify the bus with
   /// the current simulation time and invalidate cached rates.

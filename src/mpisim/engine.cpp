@@ -1,5 +1,6 @@
 #include "mpisim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -79,11 +80,29 @@ void Engine::add_observer(SimObserver* observer) {
   observers_.push_back(observer);
 }
 
+void Engine::check_rank(RankId rank, const char* who) const {
+  if (rank.value() >= app_.size()) {
+    throw InvalidArgument(std::string(who) + ": rank out of range — got rank " +
+                          std::to_string(rank.value()) + ", have " +
+                          std::to_string(app_.size()) + " rank(s)");
+  }
+}
+
+int Engine::priority_sum() const {
+  int sum = 0;
+  for (std::uint32_t ctx = 0; ctx < config_.chip.num_contexts(); ++ctx) {
+    const CpuId cpu = config_.chip.cpu(ctx);
+    if (!kernel_.process_on(cpu).has_value()) continue;
+    sum += smt::level(kernel_.effective_priority(cpu));
+  }
+  return sum;
+}
+
 void Engine::set_rank_priority(RankId rank, int priority) {
   SMTBAL_REQUIRE(!pid_of_rank_.empty(),
                  "set_rank_priority is only valid from policy hooks "
                  "(processes not spawned yet)");
-  SMTBAL_REQUIRE(rank.value() < pid_of_rank_.size(), "rank out of range");
+  check_rank(rank, "set_rank_priority");
   const Pid pid = pid_of_rank_[rank.value()];
   // A rank that already exited has no process to re-prioritise (its
   // /proc/<pid>/hmt_priority file is gone); ignore, as a userspace
@@ -91,6 +110,17 @@ void Engine::set_rank_priority(RankId rank, int priority) {
   const CpuId cpu = placement_.cpu_of_rank[rank.value()];
   if (kernel_.process_on(cpu) != std::optional<Pid>(pid)) return;
   const int before = smt::level(kernel_.effective_priority(cpu));
+  if (!budgets_.empty()) {
+    const int sum = priority_sum();
+    if (sum - before + priority > budgets_[0]) {
+      throw InvalidArgument(
+          "set_rank_priority: raising rank " + std::to_string(rank.value()) +
+          " from " + std::to_string(before) + " to " +
+          std::to_string(priority) + " would push the node's priority sum to " +
+          std::to_string(sum - before + priority) + ", over its budget of " +
+          std::to_string(budgets_[0]));
+    }
+  }
   if (kernel_.flavor() == os::KernelFlavor::kPatched) {
     kernel_.write_hmt_priority(pid, priority);
   } else {
@@ -110,10 +140,96 @@ void Engine::set_rank_priority(RankId rank, int priority) {
 }
 
 int Engine::rank_priority(RankId rank) const {
-  SMTBAL_REQUIRE(rank.value() < placement_.cpu_of_rank.size(),
-                 "rank out of range");
+  check_rank(rank, "rank_priority");
   return smt::level(
       kernel_.effective_priority(placement_.cpu_of_rank[rank.value()]));
+}
+
+void Engine::move_rank(RankId rank, CpuId to) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "move_rank is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  check_rank(rank, "move_rank");
+  if (to.linear(config_.chip.threads_per_core()) >=
+      config_.chip.num_contexts()) {
+    throw InvalidArgument(
+        "move_rank: target (core " + std::to_string(to.core.value()) +
+        ", slot " + std::to_string(to.slot.value()) +
+        ") is beyond the chip's " +
+        std::to_string(config_.chip.num_contexts()) + " contexts");
+  }
+  const Pid pid = pid_of_rank_[rank.value()];
+  const CpuId from = placement_.cpu_of_rank[rank.value()];
+  // An exited rank has no process to migrate; ignore, like
+  // set_rank_priority racing process exit.
+  if (kernel_.process_on(from) != std::optional<Pid>(pid)) return;
+  if (from == to) return;
+  kernel_.migrate(pid, to);  // throws (value-bearing) on an occupied seat
+  placement_.cpu_of_rank[rank.value()] = to;
+  if (sim_ != nullptr) {
+    sim_->notify_placement_change(rank, from, to);
+  } else if (active_bus_ != nullptr) {
+    active_bus_->notify_placement_change(rank, from, to, 0.0);
+  }
+}
+
+void Engine::swap_ranks(RankId a, RankId b) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "swap_ranks is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  check_rank(a, "swap_ranks");
+  check_rank(b, "swap_ranks");
+  if (a == b) return;
+  const CpuId cpu_a = placement_.cpu_of_rank[a.value()];
+  const CpuId cpu_b = placement_.cpu_of_rank[b.value()];
+  // A pair with an exited member is ignored, like set_rank_priority
+  // racing process exit.
+  if (kernel_.process_on(cpu_a) != std::optional<Pid>(pid_of_rank_[a.value()]) ||
+      kernel_.process_on(cpu_b) != std::optional<Pid>(pid_of_rank_[b.value()])) {
+    return;
+  }
+  kernel_.swap_processes(pid_of_rank_[a.value()], pid_of_rank_[b.value()]);
+  placement_.cpu_of_rank[a.value()] = cpu_b;
+  placement_.cpu_of_rank[b.value()] = cpu_a;
+  if (sim_ != nullptr) {
+    sim_->notify_placement_change(a, cpu_a, cpu_b);
+    sim_->notify_placement_change(b, cpu_b, cpu_a);
+  } else if (active_bus_ != nullptr) {
+    active_bus_->notify_placement_change(a, cpu_a, cpu_b, 0.0);
+    active_bus_->notify_placement_change(b, cpu_b, cpu_a, 0.0);
+  }
+}
+
+void Engine::install_budgets(int per_node_budget) {
+  const int sum = priority_sum();
+  if (per_node_budget < sum) {
+    throw InvalidArgument(
+        "install_budgets: node 0's current priority sum is " +
+        std::to_string(sum) + ", over the requested budget of " +
+        std::to_string(per_node_budget));
+  }
+  budgets_.assign(1, per_node_budget);
+}
+
+void Engine::transfer_budget(std::uint32_t from, std::uint32_t to,
+                             int amount) {
+  SMTBAL_REQUIRE(!budgets_.empty(),
+                 "transfer_budget requires install_budgets() first");
+  if (from >= 1 || to >= 1) {
+    throw InvalidArgument("transfer_budget: node " +
+                          std::to_string(std::max(from, to)) +
+                          " out of range — the flat engine is one node");
+  }
+  SMTBAL_REQUIRE(amount >= 0, "transfer_budget: amount must be >= 0");
+  // from == to on a single node: conserved trivially, nothing to do.
+}
+
+int Engine::node_budget(std::uint32_t node) const {
+  if (node >= 1) {
+    throw InvalidArgument("node_budget: node " + std::to_string(node) +
+                          " out of range — the flat engine is one node");
+  }
+  return budgets_.empty() ? kUnlimitedBudget : budgets_[0];
 }
 
 RunResult Engine::run() {

@@ -108,8 +108,22 @@ class Engine final : public EngineControl {
   [[nodiscard]] const Placement& placement() const override { return placement_; }
   [[nodiscard]] std::size_t num_ranks() const override { return app_.size(); }
   [[nodiscard]] os::KernelModel& kernel() override { return kernel_; }
+  [[nodiscard]] std::uint32_t threads_per_core() const override {
+    return config_.chip.threads_per_core();
+  }
+  void move_rank(RankId rank, CpuId to) override;
+  void swap_ranks(RankId a, RankId b) override;
+  void install_budgets(int per_node_budget) override;
+  void transfer_budget(std::uint32_t from, std::uint32_t to,
+                       int amount) override;
+  [[nodiscard]] int node_budget(std::uint32_t node) const override;
 
  private:
+  /// Throws a value-bearing InvalidArgument unless `rank` is in range.
+  void check_rank(RankId rank, const char* who) const;
+  /// Sum of effective priority levels over the engaged contexts (the
+  /// quantity an installed budget caps).
+  [[nodiscard]] int priority_sum() const;
   Application app_;
   Placement placement_;
   EngineConfig config_;
@@ -118,6 +132,9 @@ class Engine final : public EngineControl {
   BalancePolicy* policy_ = nullptr;
   std::vector<SimObserver*> observers_;
   std::vector<Pid> pid_of_rank_;
+  /// Per-node priority-weight budgets; empty until install_budgets() (the
+  /// flat engine is one node, so this holds at most one entry).
+  std::vector<int> budgets_;
   bool ran_ = false;
   /// Set while run() is live so set_rank_priority can notify the bus with
   /// the current simulation time and invalidate cached rates.

@@ -1,0 +1,22 @@
+#include "mpisim/hooks.hpp"
+
+namespace smtbal::mpisim {
+
+int node_priority_sum(const EngineControl& control, std::uint32_t node) {
+  if (node >= control.num_nodes()) {
+    throw InvalidArgument("node_priority_sum: node " + std::to_string(node) +
+                          " out of range [0, " +
+                          std::to_string(control.num_nodes()) + ")");
+  }
+  int sum = 0;
+  for (std::size_t r = 0; r < control.num_ranks(); ++r) {
+    const RankId rank{static_cast<std::uint32_t>(r)};
+    if (control.node_of(rank) != node) continue;
+    // An exited rank's context reports OFF (level 0), so it naturally
+    // drops out of the sum.
+    sum += control.rank_priority(rank);
+  }
+  return sum;
+}
+
+}  // namespace smtbal::mpisim

@@ -56,4 +56,10 @@ void MetricsObserver::on_priority_change(RankId rank, int from, int to,
   ++report_.ranks[rank.value()].priority_changes;
 }
 
+void MetricsObserver::on_placement_change(RankId rank, CpuId from, CpuId to,
+                                          SimTime now) {
+  (void)from, (void)to, (void)now;
+  ++report_.ranks[rank.value()].placement_moves;
+}
+
 }  // namespace smtbal::mpisim

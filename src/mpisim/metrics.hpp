@@ -34,6 +34,7 @@ struct RankMetrics {
   DurationHistogram compute_intervals;
   DurationHistogram wait_intervals;
   std::uint64_t priority_changes = 0;
+  std::uint64_t placement_moves = 0;
 };
 
 struct MetricsReport {
@@ -55,6 +56,8 @@ class MetricsObserver final : public SimObserver {
   void on_interval(RankId rank, SimTime begin, SimTime end,
                    trace::RankState state) override;
   void on_priority_change(RankId rank, int from, int to, SimTime now) override;
+  void on_placement_change(RankId rank, CpuId from, CpuId to,
+                           SimTime now) override;
   void on_epoch(const EpochReport& report) override {
     report_.epochs = report.epoch;
   }

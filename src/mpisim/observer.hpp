@@ -49,6 +49,12 @@ class SimObserver {
     (void)rank, (void)from, (void)to, (void)now;
   }
 
+  /// A rank was remapped to another (core, slot) seat (from != to).
+  virtual void on_placement_change(RankId rank, CpuId from, CpuId to,
+                                   SimTime now) {
+    (void)rank, (void)from, (void)to, (void)now;
+  }
+
   /// All ranks completed one more global synchronisation epoch.
   virtual void on_epoch(const EpochReport& report) { (void)report; }
 
@@ -84,6 +90,11 @@ class ObserverBus {
   }
   void notify_priority_change(RankId rank, int from, int to, SimTime now) {
     for (SimObserver* o : observers_) o->on_priority_change(rank, from, to, now);
+  }
+  void notify_placement_change(RankId rank, CpuId from, CpuId to, SimTime now) {
+    for (SimObserver* o : observers_) {
+      o->on_placement_change(rank, from, to, now);
+    }
   }
   void notify_epoch(const EpochReport& report) {
     for (SimObserver* o : observers_) o->on_epoch(report);

@@ -53,10 +53,12 @@ struct RankRt {
   trace::RankState shown = trace::RankState::kInit;
   SimTime state_since = 0.0;
 
-  // Per-epoch accumulators for policy reports. Compute time accrues with
-  // the integration segment; wait time accrues lazily from `wait_since`.
+  // Per-epoch accumulators for policy reports. Compute time and issued
+  // instructions accrue with the integration segment; wait time accrues
+  // lazily from `wait_since`.
   SimTime acc_compute = 0.0;
   SimTime acc_wait = 0.0;
+  double acc_issued = 0.0;
   SimTime wait_since = 0.0;
 };
 

@@ -90,6 +90,33 @@ void Sim::notify_priority_change(RankId rank, int from, int to) {
   if (observed_) bus_.notify_priority_change(rank, from, to, now_);
 }
 
+void Sim::notify_placement_change(RankId rank, CpuId from, CpuId to) {
+  const auto r = static_cast<std::size_t>(rank.value());
+  SMTBAL_CHECK(r < ranks_.size());
+  NodeRt& node = node_of(r);
+  const std::uint32_t tpc = node.ctx.chip->threads_per_core();
+  const std::uint32_t new_lin = to.linear(tpc);
+  const std::uint32_t old_lin = lin_of_rank_[r];
+  if (new_lin == old_lin) return;
+  // Materialise the integration segment on the old context before the
+  // remap (the sampled rate up to now belongs to the old seat).
+  if (state_[r] == RunState::kComputing && !preempted(r)) accrue(r);
+  // A swap notifies once per rank; by the second notification the first
+  // rank already claimed this rank's old seat, so only clear a seat that
+  // still maps here.
+  if (rank_on_linear_[node.ctx_base + old_lin] == static_cast<int>(r)) {
+    rank_on_linear_[node.ctx_base + old_lin] = -1;
+  }
+  lin_of_rank_[r] = new_lin;
+  ctx_of_rank_[r] = node.ctx_base + new_lin;
+  rank_on_linear_[ctx_of_rank_[r]] = static_cast<int>(r);
+  if (state_[r] == RunState::kComputing) {
+    invalidate_prediction(r);
+    fresh_compute_.push_back(r);
+  }
+  if (observed_) bus_.notify_placement_change(rank, from, to, now_);
+}
+
 void Sim::invariant_audit(InvariantAudit& out) const {
   out.now = now_;
   out.queue_size = queue_.size();
@@ -157,6 +184,7 @@ void Sim::accrue(std::size_t rank) {
   if (dt > 0.0) {
     remaining_[rank] -= rate_[rank] * dt;
     ranks_[rank].acc_compute += dt;
+    ranks_[rank].acc_issued += rate_[rank] * dt;
   }
   accrued_at_[rank] = now_;
 }
@@ -578,9 +606,33 @@ bool Sim::check_epochs() {
       rt.acc_wait += now_ - rt.wait_since;
       rt.wait_since = now_;
     }
-    report.ranks.push_back(RankEpochStats{rt.acc_compute, rt.acc_wait});
+    RankEpochStats stats;
+    stats.compute = rt.acc_compute;
+    stats.wait = rt.acc_wait;
+    stats.issued = rt.acc_issued;
+    // Observation snapshot: the rank's sampled IPC, its share of its
+    // core's throughput, its effective priority and its current seat.
+    const NodeRt& node = node_of(r);
+    const std::uint32_t lin = lin_of_rank_[r];
+    if (node.have_rates) {
+      stats.ipc = node.rates.ipc[lin];
+      const std::uint32_t tpc = node.ctx.chip->threads_per_core();
+      const std::uint32_t core_base = (lin / tpc) * tpc;
+      double core_rate = 0.0;
+      for (std::uint32_t s = 0; s < tpc; ++s) {
+        core_rate += node.rates.instr_rate[core_base + s];
+      }
+      if (core_rate > 0.0) {
+        stats.decode_share = node.rates.instr_rate[lin] / core_rate;
+      }
+    }
+    stats.priority = smt::level(
+        node.ctx.kernel->effective_priority(placement_.cpu_of_rank[r]));
+    stats.cpu = placement_.cpu_of_rank[r];
+    report.ranks.push_back(stats);
     rt.acc_compute = 0.0;
     rt.acc_wait = 0.0;
+    rt.acc_issued = 0.0;
   }
   emit_meta(EventKind::kEpochEnd, static_cast<std::uint32_t>(report.epoch));
   if (observed_) bus_.notify_epoch(report);

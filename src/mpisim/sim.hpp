@@ -119,6 +119,14 @@ class Sim final : public CollectiveClient, public AuditSource {
   /// rates).
   void notify_priority_change(RankId rank, int from, int to);
 
+  /// EngineControl::move_rank / swap_ranks remapped a rank while the run
+  /// is live (the kernel's process table and the engine's Placement are
+  /// already updated): materialise the rank's compute progress on its old
+  /// context, rebind the context maps, and invalidate its prediction the
+  /// same way a priority change does — the next refresh_rates() sees the
+  /// changed context words and re-derives the node's rates.
+  void notify_placement_change(RankId rank, CpuId from, CpuId to);
+
   /// AuditSource: snapshots the kernel state for invariant checkers
   /// (offered to observers via notify_bind at the start of run()).
   void invariant_audit(InvariantAudit& out) const override;

@@ -1,5 +1,7 @@
 #include "os/kernel.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace smtbal::os {
@@ -44,6 +46,39 @@ void KernelModel::exit_process(Pid pid) {
   // (paper §VI-A case 3); we model the steady state directly.
   cpu_priority_[i] = smt::HwPriority::kOff;
   process_cpu_.erase(it);
+}
+
+void KernelModel::migrate(Pid pid, CpuId to) {
+  const auto it = process_cpu_.find(pid);
+  SMTBAL_REQUIRE(it != process_cpu_.end(), "unknown pid");
+  const std::size_t from_i = index(it->second);
+  const std::size_t to_i = index(to);
+  if (to_i == from_i) return;
+  if (cpu_process_[to_i].has_value()) {
+    throw InvalidArgument(
+        "migrate: target CPU (core " + std::to_string(to.core.value()) +
+        ", slot " + std::to_string(to.slot.value()) + ") already hosts pid " +
+        std::to_string(cpu_process_[to_i]->value()));
+  }
+  cpu_process_[to_i] = pid;
+  cpu_priority_[to_i] = cpu_priority_[from_i];
+  cpu_process_[from_i].reset();
+  // The vacated context goes idle, same steady state as exit_process.
+  cpu_priority_[from_i] = smt::HwPriority::kOff;
+  it->second = to;
+}
+
+void KernelModel::swap_processes(Pid a, Pid b) {
+  const auto it_a = process_cpu_.find(a);
+  const auto it_b = process_cpu_.find(b);
+  SMTBAL_REQUIRE(it_a != process_cpu_.end(), "unknown pid");
+  SMTBAL_REQUIRE(it_b != process_cpu_.end(), "unknown pid");
+  SMTBAL_REQUIRE(a != b, "swap_processes needs two distinct pids");
+  const std::size_t i_a = index(it_a->second);
+  const std::size_t i_b = index(it_b->second);
+  std::swap(cpu_process_[i_a], cpu_process_[i_b]);
+  std::swap(cpu_priority_[i_a], cpu_priority_[i_b]);
+  std::swap(it_a->second, it_b->second);
 }
 
 std::optional<Pid> KernelModel::process_on(CpuId cpu) const {

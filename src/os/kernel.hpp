@@ -56,6 +56,17 @@ class KernelModel {
   /// thread off, letting the core-mate run in ST mode — paper §VI-A).
   void exit_process(Pid pid);
 
+  /// Re-pins `pid` to the free context `to` (sched_setaffinity + migration).
+  /// The process's hardware priority travels with it; the vacated context
+  /// goes idle (OFF, like exit_process). Throws InvalidArgument (naming
+  /// the CPUs) when the target is out of range or already hosts a process.
+  void migrate(Pid pid, CpuId to);
+
+  /// Exchanges the contexts of two pinned processes (a pair of
+  /// migrations through a scratch CPU, collapsed). Priorities travel with
+  /// the processes. Throws InvalidArgument on an unknown pid or a == b.
+  void swap_processes(Pid a, Pid b);
+
   [[nodiscard]] std::optional<Pid> process_on(CpuId cpu) const;
   [[nodiscard]] CpuId cpu_of(Pid pid) const;
 

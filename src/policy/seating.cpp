@@ -1,0 +1,81 @@
+#include "policy/seating.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mpisim/phase.hpp"
+
+namespace smtbal::policy {
+
+namespace {
+
+using SeatKey = std::pair<std::uint32_t, std::uint32_t>;  // (node, linear)
+
+}  // namespace
+
+std::size_t apply_seating(mpisim::EngineControl& control,
+                          const std::vector<SeatAssignment>& desired) {
+  const std::uint32_t tpc = control.threads_per_core();
+  // Working copies: control.placement() is live engine state that our own
+  // actuations mutate, so track seats locally and only read it once.
+  std::vector<CpuId> cur = control.placement().cpu_of_rank;
+
+  std::map<SeatKey, RankId> occupant;
+  for (std::size_t r = 0; r < cur.size(); ++r) {
+    const RankId rank{static_cast<std::uint32_t>(r)};
+    // Exited ranks have no process: their seats are free for moves, and
+    // the engine would silently ignore a swap with them, desynchronising
+    // this map — leave them out.
+    if (control.rank_priority(rank) == 0) continue;
+    occupant.emplace(SeatKey{control.node_of(rank), cur[r].linear(tpc)}, rank);
+  }
+
+  std::map<SeatKey, RankId> claimed;
+  for (const SeatAssignment& a : desired) {
+    const SeatKey key{control.node_of(a.rank), a.seat.linear(tpc)};
+    const auto [it, fresh] = claimed.emplace(key, a.rank);
+    if (!fresh) {
+      throw InvalidArgument(
+          "apply_seating: ranks " + std::to_string(it->second.value()) +
+          " and " + std::to_string(a.rank.value()) +
+          " both target (core " + std::to_string(a.seat.core.value()) +
+          ", slot " + std::to_string(a.seat.slot.value()) + ") on node " +
+          std::to_string(key.first));
+    }
+  }
+
+  std::size_t actuations = 0;
+  for (const SeatAssignment& a : desired) {
+    const std::size_t r = a.rank.value();
+    if (r >= cur.size()) {
+      throw InvalidArgument("apply_seating: rank " + std::to_string(r) +
+                            " out of range, have " +
+                            std::to_string(cur.size()) + " rank(s)");
+    }
+    if (control.rank_priority(a.rank) == 0) continue;  // exited: nothing to seat
+    const std::uint32_t node = control.node_of(a.rank);
+    const SeatKey from{node, cur[r].linear(tpc)};
+    const SeatKey to{node, a.seat.linear(tpc)};
+    if (from == to) continue;
+    const auto it = occupant.find(to);
+    if (it != occupant.end()) {
+      const RankId other = it->second;
+      control.swap_ranks(a.rank, other);
+      occupant[from] = other;
+      occupant[to] = a.rank;
+      cur[other.value()] = cur[r];
+    } else {
+      control.move_rank(a.rank, a.seat);
+      occupant.erase(from);
+      occupant.emplace(to, a.rank);
+    }
+    cur[r] = a.seat;
+    ++actuations;
+  }
+  return actuations;
+}
+
+}  // namespace smtbal::policy

@@ -1,0 +1,33 @@
+// Seating realization: turn a desired rank → (core, slot) map into the
+// minimal sequence of swap_ranks / move_rank calls that the engines
+// accept.
+//
+// Placement-moving policies (ilp-pairing, allocation) decide *where every
+// rank should sit* and leave the mechanics of getting there to this
+// helper, which walks the ranks in id order and fixes each one with a
+// single swap (when the target seat is occupied) or move (when it is
+// free). Provided the desired map is injective per node — no two ranks
+// want the same seat — a rank once fixed is never displaced again, so the
+// walk terminates after at most one actuation per rank.
+#pragma once
+
+#include <vector>
+
+#include "mpisim/hooks.hpp"
+
+namespace smtbal::policy {
+
+/// One rank's target seat. Ranks without an entry stay where they are.
+struct SeatAssignment {
+  RankId rank{};
+  CpuId seat{};  ///< within-node (core, slot) on the rank's current node
+};
+
+/// Applies `desired` through `control`. Throws InvalidArgument if two
+/// assignments target the same seat on the same node (the injectivity
+/// the walk's termination proof needs), and propagates engine errors for
+/// out-of-range seats. Returns the number of actuations issued.
+std::size_t apply_seating(mpisim::EngineControl& control,
+                          const std::vector<SeatAssignment>& desired);
+
+}  // namespace smtbal::policy

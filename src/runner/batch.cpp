@@ -88,21 +88,28 @@ void parallel_for_stealing(unsigned jobs, std::size_t num_items,
 BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
   const unsigned jobs = resolve_jobs(options_.jobs, specs.size());
 
-  // Group specs into sampler domains.
+  // Group specs into sampler domains. A cluster spec's domain is its
+  // per-node engine configuration (every node shares one sampler).
   std::vector<SamplerDomain> domains;
   std::vector<std::size_t> domain_of_spec(specs.size(), 0);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec& spec = specs[i];
+    SMTBAL_REQUIRE(spec.cluster_placement.has_value() ==
+                       spec.cluster_config.has_value(),
+                   "RunSpec cluster_placement and cluster_config must be "
+                   "engaged together");
+    const mpisim::EngineConfig& node_config =
+        spec.cluster_config ? spec.cluster_config->node : spec.config;
     std::size_t d = 0;
     for (; d < domains.size(); ++d) {
-      if (domains[d].chip == spec.config.chip &&
-          domains[d].options == spec.config.sampler) {
+      if (domains[d].chip == node_config.chip &&
+          domains[d].options == node_config.sampler) {
         break;
       }
     }
     if (d == domains.size()) {
       domains.push_back(SamplerDomain{
-          spec.config.chip, spec.config.sampler,
+          node_config.chip, node_config.sampler,
           options_.share_sample_cache ? std::make_shared<smt::SampleCache>()
                                       : nullptr});
     }
@@ -133,13 +140,18 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
                                                            domain.options);
         sampler->attach_shared_cache(domain.cache);
       }
-      mpisim::Engine engine(spec.app, spec.placement, spec.config, sampler);
       std::unique_ptr<mpisim::BalancePolicy> policy;
-      if (spec.make_policy) {
-        policy = spec.make_policy();
+      if (spec.make_policy) policy = spec.make_policy();
+      if (spec.cluster_config) {
+        cluster::ClusterEngine engine(spec.app, *spec.cluster_placement,
+                                      *spec.cluster_config, sampler);
         if (policy != nullptr) engine.set_policy(policy.get());
+        out.result = std::move(engine.run().flat);
+      } else {
+        mpisim::Engine engine(spec.app, spec.placement, spec.config, sampler);
+        if (policy != nullptr) engine.set_policy(policy.get());
+        out.result = engine.run();
       }
-      out.result = engine.run();
       out.ok = true;
     } catch (const std::exception& e) {
       out.ok = false;

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/engine.hpp"
 #include "common/stats.hpp"
 #include "mpisim/engine.hpp"
 #include "mpisim/hooks.hpp"
@@ -47,6 +48,13 @@ struct RunSpec {
   /// Optional policy factory, invoked once per run on the executing worker
   /// (policies are stateful, so they cannot be shared between runs).
   std::function<std::unique_ptr<mpisim::BalancePolicy>()> make_policy;
+  /// Engaged (both together) = a multi-node run: the spec goes through
+  /// cluster::ClusterEngine with these instead of (placement, config),
+  /// and the outcome carries the cluster run's flat (global-rank) view.
+  /// Sampler domains key on the per-node chip, so flat and cluster runs
+  /// of the same chip share measured loads.
+  std::optional<cluster::ClusterPlacement> cluster_placement;
+  std::optional<cluster::ClusterConfig> cluster_config;
 };
 
 /// Result of one run. Outcomes are returned in spec order.

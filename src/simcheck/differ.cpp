@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/static_policy.hpp"
+#include "policy/registry.hpp"
 #include "simcheck/invariants.hpp"
 
 namespace smtbal::simcheck {
@@ -188,6 +189,57 @@ std::optional<std::string> check_spec(const ScenarioSpec& raw) {
     }
   } catch (const std::exception& e) {
     return std::string("exception: ") + e.what();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_policy_spec(const ScenarioSpec& raw,
+                                             const std::string& policy_spec) {
+  ScenarioSpec spec = sanitize_spec(raw);
+  spec.vanilla = false;
+  try {
+    const Scenario sc = build_scenario(spec);
+    const auto make_policy = [&](bool clustered) {
+      policy::PolicyContext context;
+      context.num_ranks = sc.app.size();
+      context.threads_per_core = sc.config.chip.threads_per_core();
+      context.placement =
+          clustered ? &sc.cluster_placement.within : &sc.placement;
+      context.cluster = clustered ? &sc.cluster_placement : nullptr;
+      return policy::Registry::instance().make(policy_spec, context);
+    };
+
+    if (spec.num_nodes == 1) {
+      mpisim::Engine engine(sc.app, sc.placement, sc.config);
+      InvariantObserver invariants;
+      engine.add_observer(&invariants);
+      const auto flat_policy = make_policy(false);
+      engine.set_policy(flat_policy.get());
+      const mpisim::RunResult flat = engine.run();
+
+      cluster::ClusterEngine clustered(sc.app, sc.cluster_placement,
+                                       sc.cluster_config);
+      InvariantObserver cluster_invariants;
+      cluster_invariants.watch_interconnect(&clustered.interconnect());
+      clustered.add_observer(&cluster_invariants);
+      const auto cluster_policy = make_policy(true);
+      clustered.set_policy(cluster_policy.get());
+      const cluster::ClusterRunResult cluster_result = clustered.run();
+      if (auto d = diff_flat_vs_cluster(flat, cluster_result)) {
+        return "flat-vs-cluster(M=1) under '" + policy_spec + "': " + *d;
+      }
+    } else {
+      cluster::ClusterEngine clustered(sc.app, sc.cluster_placement,
+                                       sc.cluster_config);
+      InvariantObserver invariants;
+      invariants.watch_interconnect(&clustered.interconnect());
+      clustered.add_observer(&invariants);
+      const auto cluster_policy = make_policy(true);
+      clustered.set_policy(cluster_policy.get());
+      (void)clustered.run();
+    }
+  } catch (const std::exception& e) {
+    return "policy '" + policy_spec + "': exception: " + e.what();
   }
   return std::nullopt;
 }

@@ -48,6 +48,18 @@ namespace smtbal::simcheck {
 /// reported as failures. nullopt = the spec passes.
 [[nodiscard]] std::optional<std::string> check_spec(const ScenarioSpec& spec);
 
+/// Differential for one registry policy (policy::Registry spec string,
+/// e.g. "allocation" or "dynamic:max_diff=2") over one scenario. The
+/// scenario runs with a fresh registry-built policy instance per engine;
+/// its static priorities are dropped (the policy owns actuation) and a
+/// vanilla flavor is forced off (policies use the patched kernel's full
+/// 1..6 band). Single-node specs demand bit-identical flat vs
+/// cluster(M=1) results — the oracle cannot model reactive policies, so
+/// it sits this one out; multi-node specs run the cluster engine under
+/// the invariant checker. nullopt = the spec passes under the policy.
+[[nodiscard]] std::optional<std::string> check_policy_spec(
+    const ScenarioSpec& spec, const std::string& policy_spec);
+
 /// Greedy shrink: repeatedly tries shape-reducing mutations (fewer
 /// blocks, fewer ranks, one node, toggles off, narrower SMT) and keeps
 /// any for which `still_fails` holds, until no mutation helps or the

@@ -18,7 +18,14 @@ FuzzReport run_fuzz(
   const auto checker =
       check ? check
             : std::function<std::optional<std::string>(const ScenarioSpec&)>(
-                  &check_spec);
+                  [policies = options.policies](const ScenarioSpec& spec)
+                      -> std::optional<std::string> {
+                    if (auto d = check_spec(spec)) return d;
+                    for (const std::string& policy : policies) {
+                      if (auto d = check_policy_spec(spec, policy)) return d;
+                    }
+                    return std::nullopt;
+                  });
   const unsigned jobs =
       runner::resolve_jobs(options.jobs, std::max<std::size_t>(options.count, 1));
 

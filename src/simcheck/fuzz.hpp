@@ -31,6 +31,11 @@ struct FuzzOptions {
   unsigned jobs = 0;            ///< worker threads; 0 = all host cores
   FuzzMode mode = FuzzMode::kAny;
   bool shrink = true;           ///< minimise each failure before reporting
+  /// Registry policy specs (e.g. "allocation", "dynamic:max_diff=2") to
+  /// additionally run each scenario under, via differ.hpp's
+  /// check_policy_spec. Ignored when a custom `check` predicate is
+  /// supplied to run_fuzz.
+  std::vector<std::string> policies;
 };
 
 struct FuzzFailure {

@@ -190,6 +190,13 @@ void Core::drain() {
     thread.next_seq = 0;
   }
   gct_used_ = 0;
+  // The cycle counter phases the decode-arbiter slice (grant(now_, ...))
+  // and the issue-scan rotation (now_ % num_contexts). Carrying it across
+  // a drain would make a measurement's result depend on how many cycles
+  // the core ran *before* the drain — ThroughputSampler::measure() must be
+  // a pure function of (config, options, load) for the shared SampleCache
+  // to be sound (see runner/batch.hpp), so the phase restarts too.
+  now_ = 0;
 }
 
 bool Core::has_instructions(const ThreadState& thread) const {

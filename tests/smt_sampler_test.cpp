@@ -152,6 +152,43 @@ TEST(Sampler, OrderIndependentResults) {
   EXPECT_DOUBLE_EQ(a1, a2);
 }
 
+TEST(Sampler, MeasurementsUnaffectedByPriorHistory) {
+  // Regression: Core::drain() once carried the cycle counter across
+  // measurements, so the decode-arbiter slice (and the issue-scan
+  // rotation) of a measurement depended on how many cycles the chip had
+  // already run. Under short windows and asymmetric priorities the phase
+  // shift changed measured IPC outright, which broke BatchRunner's shared
+  // SampleCache soundness (measure() must be pure): a worker that adopted
+  // a published key instead of measuring it got *different bits* for every
+  // later key. This shape — SMT4, multi-core, tiny fuzzer-sized windows,
+  // HIGH/LOW priorities — diverged on every kernel before the fix.
+  ChipConfig chip;
+  chip.num_cores = 3;
+  chip.memory.num_cores = 3;
+  chip.core.threads_per_core = 4;
+  const ThroughputSampler::Options options{.warmup_cycles = 500,
+                                           .window_cycles = 2000,
+                                           .seed = 9};
+  ChipLoad junk, target;
+  junk.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  const isa::KernelId kernels[] = {
+      kid(isa::kKernelHpcMixed), kid(isa::kKernelSpinWait),
+      kid(isa::kKernelL2Stress), kid(isa::kKernelCfd)};
+  const HwPriority priorities[] = {HwPriority::kHigh, HwPriority::kLow,
+                                   HwPriority::kMedium, HwPriority::kMedium};
+  for (int c = 0; c < 6; ++c) {
+    target.contexts[c] = ContextLoad{kernels[c % 4], priorities[c % 4]};
+  }
+  ThroughputSampler with_history(chip, options);
+  ThroughputSampler fresh(chip, options);
+  (void)with_history.sample(junk);
+  const SampleResult r1 = with_history.sample(target);
+  const SampleResult r2 = fresh.sample(target);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(r1.ipc[c], r2.ipc[c]) << "context " << c;
+  }
+}
+
 TEST(Sampler, SpinKernelStealsFromComputePartner) {
   // The mechanism behind the whole paper: a busy-waiting rank at equal
   // priority takes decode slots from the computing rank; lowering the

@@ -82,10 +82,28 @@ std::vector<CorpusEntry> load_corpus(const std::string& dir) {
   return entries;
 }
 
+/// check_spec plus the per-policy differential for each --policies spec;
+/// the campaign path in run_fuzz applies the same battery.
+std::optional<std::string> check_with_policies(
+    const smtbal::simcheck::ScenarioSpec& spec,
+    const std::vector<std::string>& policies) {
+  if (auto d = smtbal::simcheck::check_spec(spec)) return d;
+  for (const std::string& policy : policies) {
+    if (auto d = smtbal::simcheck::check_policy_spec(spec, policy)) return d;
+  }
+  return std::nullopt;
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: simcheck_fuzz [--seed-base N] [--count N] [--seconds S]\n"
         "                     [--jobs N] [--mode any|flat] [--no-shrink]\n"
-        "                     [--replay SEED] [--corpus DIR]\n";
+        "                     [--replay SEED] [--corpus DIR]\n"
+        "                     [--policies SPEC[,SPEC...]]\n"
+        "\n"
+        "--policies additionally runs every scenario under each named\n"
+        "registry policy (flat-vs-cluster(M=1) differential; invariants\n"
+        "only for multi-node). Specs use the policy::Registry syntax,\n"
+        "e.g. 'dynamic' or 'allocation:interval=2'.\n";
   return code;
 }
 
@@ -130,6 +148,11 @@ int main(int argc, char** argv) {
         } else {
           throw smtbal::InvalidArgument("--mode must be 'any' or 'flat'");
         }
+      } else if (arg == "--policies") {
+        std::istringstream is(value());
+        for (std::string spec; std::getline(is, spec, ',');) {
+          if (!spec.empty()) options.policies.push_back(spec);
+        }
       } else if (arg == "--no-shrink") {
         options.shrink = false;
       } else if (arg == "--replay") {
@@ -154,7 +177,7 @@ int main(int argc, char** argv) {
                             ? smtbal::simcheck::random_flat_spec(*replay)
                             : smtbal::simcheck::random_spec(*replay);
       std::cout << "replaying " << to_string(spec) << "\n";
-      if (const auto message = smtbal::simcheck::check_spec(spec)) {
+      if (const auto message = check_with_policies(spec, options.policies)) {
         std::cerr << "FAIL: " << *message << "\n";
         return 1;
       }
@@ -171,7 +194,7 @@ int main(int argc, char** argv) {
         const auto spec = entry.mode == FuzzMode::kFlat
                               ? smtbal::simcheck::random_flat_spec(entry.seed)
                               : smtbal::simcheck::random_spec(entry.seed);
-        if (const auto message = smtbal::simcheck::check_spec(spec)) {
+        if (const auto message = check_with_policies(spec, options.policies)) {
           std::cerr << "FAIL " << entry.origin << " seed=" << entry.seed
                     << ": " << *message << "\n";
           ++failures;
