@@ -5,26 +5,96 @@
 // additionally widens the lagging node's priority-gap ceiling, and the
 // multi-node PARAVER export places each rank on its hosting node.
 //
-//   $ ./cluster_balancing [out.prv]
+//   $ ./cluster_balancing [--hetero] [--workload NAME] [out.prv]
+//
+//   --hetero          make node 1 an SMT4 chip (node 0 stays SMT2) and
+//                     seat the ranks by capacity: the wide node hosts
+//                     more of them
+//   --workload NAME   skewed (default) | stencil | straggler | drift
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "cluster/balancer.hpp"
 #include "cluster/engine.hpp"
+#include "cluster/placement.hpp"
 #include "cluster/workload.hpp"
+#include "common/error.hpp"
 #include "trace/paraver.hpp"
+#include "workloads/drift.hpp"
+#include "workloads/master_worker.hpp"
+#include "workloads/stencil.hpp"
 
 using namespace smtbal;
 
 namespace {
 
-cluster::ClusterRunResult run_case(const cluster::SkewedClusterConfig& workload,
-                                   cluster::TwoLevelBalancer* policy) {
-  cluster::SkewedCluster skew = cluster::make_skewed_cluster(workload);
+struct Setup {
+  mpisim::Application app;
+  cluster::ClusterPlacement placement;
   cluster::ClusterConfig config;
-  config.num_nodes = workload.num_nodes;
-  cluster::ClusterEngine engine(std::move(skew.app), skew.placement, config);
+};
+
+Setup make_setup(const std::string& workload, bool hetero) {
+  Setup setup;
+  setup.config.num_nodes = 2;
+  if (hetero) {
+    // Node 1 doubles its SMT width; node 0 keeps the base shape.
+    setup.config.node_shapes = {{}, {.threads_per_core = 4}};
+  }
+
+  if (workload == "skewed") {
+    cluster::SkewedClusterConfig skew_config;
+    skew_config.num_nodes = 2;
+    skew_config.ranks_per_node = 4;
+    skew_config.iterations = 8;
+    skew_config.base_instructions = 1e9;
+    skew_config.light_fraction = 0.1;  // light ranks off the critical path
+    skew_config.node_scale = {1.6};    // node 0 carries 1.6x the work
+    cluster::SkewedCluster skew = cluster::make_skewed_cluster(skew_config);
+    setup.app = std::move(skew.app);
+    // The skewed builder's block seating is valid on the hetero cluster
+    // too: overrides only widen node 1, never shrink it.
+    setup.placement = std::move(skew.placement);
+    return setup;
+  }
+
+  const std::size_t num_ranks = hetero ? 10 : 8;
+  if (workload == "stencil") {
+    workloads::StencilConfig config;
+    config.num_ranks = num_ranks;
+    setup.app = workloads::build_stencil(config);
+  } else if (workload == "straggler") {
+    workloads::MasterWorkerConfig config;
+    config.num_ranks = num_ranks;
+    setup.app = workloads::build_master_worker(config);
+  } else if (workload == "drift") {
+    workloads::DriftConfig config;
+    config.num_ranks = num_ranks;
+    setup.app = workloads::build_drift(config);
+  } else {
+    throw InvalidArgument("unknown --workload '" + workload +
+                          "' (try skewed, stencil, straggler, drift)");
+  }
+  if (hetero) {
+    std::vector<std::uint32_t> contexts, tpc;
+    for (std::uint32_t n = 0; n < setup.config.num_nodes; ++n) {
+      const smt::ChipConfig chip = setup.config.node_chip(n);
+      contexts.push_back(chip.num_contexts());
+      tpc.push_back(chip.threads_per_core());
+    }
+    setup.placement = cluster::ClusterPlacement::block_by_capacity(
+        num_ranks, contexts, tpc);
+  } else {
+    setup.placement = cluster::ClusterPlacement::block(num_ranks, 2);
+  }
+  return setup;
+}
+
+cluster::ClusterRunResult run_case(const Setup& setup,
+                                   cluster::TwoLevelBalancer* policy) {
+  cluster::ClusterEngine engine(setup.app, setup.placement, setup.config);
   if (policy != nullptr) engine.set_policy(policy);
   return engine.run();
 }
@@ -41,45 +111,55 @@ void print_case(const char* label, const cluster::ClusterRunResult& result) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  cluster::SkewedClusterConfig workload;
-  workload.num_nodes = 2;
-  workload.ranks_per_node = 4;
-  workload.iterations = 8;
-  workload.base_instructions = 1e9;
-  workload.light_fraction = 0.1;   // keep the light ranks off the critical path
-  workload.node_scale = {1.6};     // node 0 carries 1.6x the work
+int main(int argc, char** argv) try {
+  bool hetero = false;
+  std::string workload = "skewed";
+  std::string path = "cluster_balancing.prv";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hetero") {
+      hetero = true;
+    } else if (arg == "--workload") {
+      SMTBAL_REQUIRE(i + 1 < argc, "--workload needs a value");
+      workload = argv[++i];
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(std::string("--workload=").size());
+    } else if (arg.rfind("--", 0) == 0) {
+      throw InvalidArgument("unknown argument '" + arg +
+                            "' (try --hetero, --workload)");
+    } else {
+      path = arg;
+    }
+  }
 
-  const cluster::ClusterRunResult baseline = run_case(workload, nullptr);
+  const Setup setup = make_setup(workload, hetero);
+  const cluster::ClusterRunResult baseline = run_case(setup, nullptr);
   print_case("all-MEDIUM:", baseline);
 
   // Outer level may widen a lagging node's gap ceiling by one step.
-  cluster::SkewedCluster skew = cluster::make_skewed_cluster(workload);
   cluster::TwoLevelBalancerConfig policy_config;
   policy_config.inner.max_diff = 1;
   policy_config.max_node_boost = 1;
-  cluster::TwoLevelBalancer policy(skew.placement, policy_config);
-  cluster::ClusterConfig config;
-  config.num_nodes = workload.num_nodes;
-  cluster::ClusterEngine engine(std::move(skew.app), skew.placement, config);
-  engine.set_policy(&policy);
-  const cluster::ClusterRunResult balanced = engine.run();
+  cluster::TwoLevelBalancer policy(setup.placement, policy_config);
+  const cluster::ClusterRunResult balanced = run_case(setup, &policy);
 
   std::cout << '\n';
   print_case("two-level: ", balanced);
   std::cout << "  node gap boosts:";
-  for (std::uint32_t n = 0; n < workload.num_nodes; ++n) {
+  for (std::uint32_t n = 0; n < setup.config.num_nodes; ++n) {
     std::cout << ' ' << policy.node_boost(n);
   }
   std::cout << "\n  "
             << (1.0 - balanced.flat.exec_time / baseline.flat.exec_time) * 100.0
             << "% faster than all-MEDIUM\n";
 
-  const std::string path = argc > 1 ? argv[1] : "cluster_balancing.prv";
   std::ofstream out(path);
   out << trace::to_prv(balanced.flat.trace, balanced.node_of_rank);
   std::cout << "\nPARAVER trace written to " << path << " ("
             << balanced.node_of_rank.size() << " tasks on "
             << balanced.nodes.size() << " nodes)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "cluster_balancing: " << e.what() << '\n';
+  return 1;
 }

@@ -40,8 +40,8 @@ void TwoLevelBalancer::on_start(mpisim::EngineControl& control) {
     for (const std::size_t r : ranks_of_node_[n]) {
       local.cpu_of_rank.push_back(placement_.within.cpu_of_rank[r]);
     }
-    node_controls_.emplace_back(&control, ranks_of_node_[n],
-                                std::move(local));
+    node_controls_.emplace_back(&control, ranks_of_node_[n], std::move(local),
+                                control.threads_per_core_of(n));
     inners_.emplace_back(config_.inner);
   }
   node_wait_.assign(num_nodes_, 0.0);

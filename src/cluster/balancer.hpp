@@ -76,10 +76,12 @@ class TwoLevelBalancer final : public mpisim::BalancePolicy {
    public:
     NodeControl(mpisim::EngineControl* global,
                 std::vector<std::size_t> global_ranks,
-                mpisim::Placement local_placement)
+                mpisim::Placement local_placement,
+                std::uint32_t threads_per_core)
         : global_(global),
           global_ranks_(std::move(global_ranks)),
-          placement_(std::move(local_placement)) {}
+          placement_(std::move(local_placement)),
+          threads_per_core_(threads_per_core) {}
 
     void rebind(mpisim::EngineControl* global) { global_ = global; }
 
@@ -98,8 +100,10 @@ class TwoLevelBalancer final : public mpisim::BalancePolicy {
     [[nodiscard]] os::KernelModel& kernel() override {
       return global_->kernel();
     }
+    /// The *hosting node's* SMT width, captured at on_start — nodes may
+    /// differ on a heterogeneous cluster.
     [[nodiscard]] std::uint32_t threads_per_core() const override {
-      return global_->threads_per_core();
+      return threads_per_core_;
     }
 
    private:
@@ -110,6 +114,7 @@ class TwoLevelBalancer final : public mpisim::BalancePolicy {
     mpisim::EngineControl* global_;
     std::vector<std::size_t> global_ranks_;
     mpisim::Placement placement_;
+    std::uint32_t threads_per_core_;
   };
 
   const ClusterPlacement& placement_;

@@ -1,6 +1,7 @@
 #include "cluster/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
@@ -44,9 +45,52 @@ class ClusterCostModel final : public mpisim::MessageCostModel {
 
 }  // namespace
 
+bool ClusterConfig::homogeneous() const {
+  return std::all_of(node_shapes.begin(), node_shapes.end(),
+                     [](const NodeShape& s) { return s.is_default(); });
+}
+
+ClusterConfig::NodeShape ClusterConfig::shape_of(std::uint32_t n) const {
+  return n < node_shapes.size() ? node_shapes[n] : NodeShape{};
+}
+
+smt::ChipConfig ClusterConfig::node_chip(std::uint32_t n) const {
+  const NodeShape shape = shape_of(n);
+  smt::ChipConfig chip = node.chip;
+  if (shape.num_cores != 0) {
+    chip.num_cores = shape.num_cores;
+    chip.memory.num_cores = shape.num_cores;
+  }
+  if (shape.threads_per_core != 0) {
+    chip.core.threads_per_core = shape.threads_per_core;
+  }
+  chip.frequency_ghz *= shape.clock_scale;
+  return chip;
+}
+
 void ClusterConfig::validate() const {
   SMTBAL_REQUIRE(num_nodes >= 1, "ClusterConfig.num_nodes must be >= 1");
   node.validate();
+  SMTBAL_REQUIRE(node_shapes.size() <= num_nodes,
+                 "ClusterConfig.node_shapes has more entries than num_nodes");
+  for (std::size_t n = 0; n < node_shapes.size(); ++n) {
+    const NodeShape& shape = node_shapes[n];
+    if (!(shape.clock_scale > 0.0) || !std::isfinite(shape.clock_scale)) {
+      throw InvalidArgument("ClusterConfig.node_shapes[" + std::to_string(n) +
+                            "].clock_scale must be positive and finite");
+    }
+    if (shape.is_default()) continue;
+    // The derived chip must be a valid engine configuration in its own
+    // right (context counts, sampler limits, memory shape agreement).
+    mpisim::EngineConfig derived = node;
+    derived.chip = node_chip(static_cast<std::uint32_t>(n));
+    try {
+      derived.validate();
+    } catch (const std::exception& e) {
+      throw InvalidArgument("ClusterConfig.node_shapes[" + std::to_string(n) +
+                            "] derives an invalid node config: " + e.what());
+    }
+  }
   interconnect.validate();
 }
 
@@ -64,21 +108,53 @@ ClusterEngine::ClusterEngine(mpisim::Application app,
       sampler_(std::move(sampler)),
       interconnect_(config_.interconnect, config_.num_nodes) {
   config_.validate();
-  // All nodes run identical chips, so one sampler serves the whole
-  // cluster: a load measured for any node is memoised for all of them.
+  chips_.reserve(config_.num_nodes);
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    chips_.push_back(config_.node_chip(n));
+  }
+  // Nodes with the base chip share one sampler, so a load measured on any
+  // of them is memoised for all of them. Each distinct overridden shape
+  // gets its own sampler (measure() runs on that shape's chip), attached
+  // to the base sampler's shared cache — shape-folded keys keep the
+  // share collision-free.
   if (sampler_ == nullptr) {
     sampler_ = std::make_shared<smt::ThroughputSampler>(config_.node.chip,
                                                         config_.node.sampler);
   }
+  samplers_.push_back(sampler_);
+  sampler_of_node_.reserve(config_.num_nodes);
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    std::shared_ptr<smt::ThroughputSampler> node_sampler;
+    for (const auto& existing : samplers_) {
+      if (existing->chip_config() == chips_[n]) {
+        node_sampler = existing;
+        break;
+      }
+    }
+    if (node_sampler == nullptr) {
+      node_sampler = std::make_shared<smt::ThroughputSampler>(
+          chips_[n], config_.node.sampler);
+      node_sampler->attach_shared_cache(sampler_->shared_cache());
+      samplers_.push_back(node_sampler);
+    }
+    sampler_of_node_.push_back(node_sampler.get());
+  }
   kernels_.reserve(config_.num_nodes);
   for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
     kernels_.push_back(std::make_unique<os::KernelModel>(
-        config_.node.kernel_flavor, config_.node.chip));
+        config_.node.kernel_flavor, chips_[n]));
   }
   SMTBAL_REQUIRE(placement_.size() == app_.size(),
                  "cluster placement size must match rank count");
-  placement_.validate(config_.num_nodes, config_.node.chip.num_contexts(),
-                      config_.node.chip.threads_per_core());
+  std::vector<std::uint32_t> contexts_of_node;
+  std::vector<std::uint32_t> tpc_of_node;
+  contexts_of_node.reserve(config_.num_nodes);
+  tpc_of_node.reserve(config_.num_nodes);
+  for (const smt::ChipConfig& chip : chips_) {
+    contexts_of_node.push_back(chip.num_contexts());
+    tpc_of_node.push_back(chip.threads_per_core());
+  }
+  placement_.validate(contexts_of_node, tpc_of_node);
   app_.validate();
 }
 
@@ -98,9 +174,10 @@ void ClusterEngine::check_rank(RankId rank, const char* who) const {
 
 int ClusterEngine::priority_sum(std::uint32_t node) const {
   const os::KernelModel& kernel = *kernels_[node];
+  const smt::ChipConfig& chip = chips_[node];
   int sum = 0;
-  for (std::uint32_t ctx = 0; ctx < config_.node.chip.num_contexts(); ++ctx) {
-    const CpuId cpu = config_.node.chip.cpu(ctx);
+  for (std::uint32_t ctx = 0; ctx < chip.num_contexts(); ++ctx) {
+    const CpuId cpu = chip.cpu(ctx);
     if (!kernel.process_on(cpu).has_value()) continue;
     sum += smt::level(kernel.effective_priority(cpu));
   }
@@ -110,6 +187,24 @@ int ClusterEngine::priority_sum(std::uint32_t node) const {
 std::uint32_t ClusterEngine::node_of(RankId rank) const {
   check_rank(rank, "node_of");
   return placement_.node_of_rank[rank.value()];
+}
+
+std::uint32_t ClusterEngine::threads_per_core_of(std::uint32_t node) const {
+  if (node >= config_.num_nodes) {
+    throw InvalidArgument("threads_per_core_of: node " + std::to_string(node) +
+                          " out of range [0, " +
+                          std::to_string(config_.num_nodes) + ")");
+  }
+  return chips_[node].threads_per_core();
+}
+
+std::uint32_t ClusterEngine::num_cores_of(std::uint32_t node) {
+  if (node >= config_.num_nodes) {
+    throw InvalidArgument("num_cores_of: node " + std::to_string(node) +
+                          " out of range [0, " +
+                          std::to_string(config_.num_nodes) + ")");
+  }
+  return chips_[node].num_cores;
 }
 
 void ClusterEngine::set_rank_priority(RankId rank, int priority) {
@@ -168,15 +263,16 @@ void ClusterEngine::move_rank(RankId rank, CpuId to) {
                  "move_rank is only valid from policy hooks "
                  "(processes not spawned yet)");
   check_rank(rank, "move_rank");
-  if (to.linear(config_.node.chip.threads_per_core()) >=
-      config_.node.chip.num_contexts()) {
+  const std::uint32_t node = placement_.node_of_rank[rank.value()];
+  const smt::ChipConfig& chip = chips_[node];
+  if (to.linear(chip.threads_per_core()) >= chip.num_contexts() ||
+      to.slot.value() >= chip.threads_per_core()) {
     throw InvalidArgument(
         "move_rank: target (core " + std::to_string(to.core.value()) +
         ", slot " + std::to_string(to.slot.value()) +
-        ") is beyond the node chip's " +
-        std::to_string(config_.node.chip.num_contexts()) + " contexts");
+        ") is beyond the node chip's " + std::to_string(chip.num_contexts()) +
+        " contexts");
   }
-  const std::uint32_t node = placement_.node_of_rank[rank.value()];
   os::KernelModel& kernel = *kernels_[node];
   const Pid pid = pid_of_rank_[rank.value()];
   const CpuId from = placement_.within.cpu_of_rank[rank.value()];
@@ -308,8 +404,7 @@ ClusterRunResult ClusterEngine::run() {
   std::vector<mpisim::detail::NodeCtx> nodes;
   nodes.reserve(config_.num_nodes);
   for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
-    nodes.push_back(mpisim::detail::NodeCtx{&config_.node.chip,
-                                            sampler_.get(),
+    nodes.push_back(mpisim::detail::NodeCtx{&chips_[n], sampler_of_node_[n],
                                             kernels_[n].get()});
   }
   ClusterCostModel cost(config_.node.network, interconnect_,
@@ -328,7 +423,15 @@ ClusterRunResult ClusterEngine::run() {
   for (const auto& kernel : kernels_) {
     result.flat.priority_resets += kernel->priority_resets();
   }
-  result.flat.sampler_stats = sampler_->stats();
+  // Aggregate over the distinct samplers (just the base one on a
+  // homogeneous cluster, so those totals are unchanged).
+  for (const auto& sampler : samplers_) {
+    const smt::SamplerStats& stats = sampler->stats();
+    result.flat.sampler_stats.lookups += stats.lookups;
+    result.flat.sampler_stats.misses += stats.misses;
+    result.flat.sampler_stats.shared_hits += stats.shared_hits;
+    result.flat.sampler_stats.local_hits += stats.local_hits;
+  }
   result.flat.metrics = metrics_observer.take();
 
   result.node_of_rank = placement_.node_of_rank;

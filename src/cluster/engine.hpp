@@ -3,12 +3,19 @@
 // cluster::Interconnect and driven by the same mpisim::detail::Sim event
 // loop as the flat engine.
 //
-// Every node runs the same chip/kernel/network configuration
-// (ClusterConfig.node) — the paper's cluster-of-identical-OpenPower-710s
-// scenario — and shares one ThroughputSampler, so a chip load measured on
-// any node is memoised for all of them. A cluster of M=1 takes exactly
-// the flat engine's path through the simulation core and reproduces its
-// results bit-for-bit (tests/cluster_test.cpp locks this in).
+// Every node starts from the same base configuration (ClusterConfig.node)
+// — the paper's cluster-of-identical-OpenPower-710s scenario — and nodes
+// may additionally override their chip *shape* (core count, SMT width,
+// clock scale) through ClusterConfig::NodeShape, modelling heterogeneous
+// machines. Nodes whose derived chip equals the base chip share one
+// ThroughputSampler, so a chip load measured on any such node is memoised
+// for all of them; differently-shaped nodes get their own samplers (one
+// per distinct shape) attached to the base sampler's shared cache, which
+// is collision-safe because ChipLoad keys fold in the chip shape
+// (smt::chip_shape_seed). A cluster of M=1 — or any all-default-shape
+// cluster — takes exactly the homogeneous path through the simulation
+// core and reproduces its results bit-for-bit (tests/cluster_test.cpp and
+// tests/cluster_hetero_test.cpp lock this in).
 #pragma once
 
 #include <memory>
@@ -21,12 +28,41 @@
 namespace smtbal::cluster {
 
 struct ClusterConfig {
+  /// Per-node overrides of the base chip shape. Only the rate-relevant
+  /// shape may vary per node; micro-architecture, memory hierarchy,
+  /// kernel flavor, network and noise stay uniform (ClusterConfig.node).
+  struct NodeShape {
+    std::uint32_t num_cores = 0;         ///< 0 = inherit node.chip.num_cores
+    std::uint32_t threads_per_core = 0;  ///< 0 = inherit node.chip SMT width
+    /// Multiplies the base chip's clock frequency (a slower or faster
+    /// node); must be positive and finite.
+    double clock_scale = 1.0;
+
+    [[nodiscard]] bool is_default() const {
+      return num_cores == 0 && threads_per_core == 0 && clock_scale == 1.0;
+    }
+    [[nodiscard]] bool operator==(const NodeShape&) const = default;
+  };
+
   std::uint32_t num_nodes = 1;
-  /// Per-node configuration, identical for every node: chip, sampler
+  /// Per-node base configuration, shared by every node: chip, sampler
   /// options, kernel flavor, intra-node network, noise profile (seeds are
   /// offset per node), barrier latency, runaway guards.
   mpisim::EngineConfig node{};
+  /// Per-node shape overrides, indexed by node; shorter than num_nodes
+  /// extends with default (= base) shapes, so {} is the homogeneous
+  /// cluster. Entries beyond num_nodes are rejected by validate().
+  std::vector<NodeShape> node_shapes{};
   InterconnectConfig interconnect{};
+
+  /// True when every node runs the base chip unchanged.
+  [[nodiscard]] bool homogeneous() const;
+  /// Node `n`'s shape override (default-constructed past node_shapes).
+  [[nodiscard]] NodeShape shape_of(std::uint32_t n) const;
+  /// Node `n`'s derived chip: the base chip with shape_of(n) applied
+  /// (num_cores also resizes the memory hierarchy; clock_scale multiplies
+  /// frequency_ghz).
+  [[nodiscard]] smt::ChipConfig node_chip(std::uint32_t n) const;
 
   void validate() const;
 };
@@ -91,12 +127,17 @@ class ClusterEngine final : public mpisim::EngineControl {
   /// Node 0's kernel — EngineControl predates multi-node; use
   /// node_kernel() for a specific node.
   [[nodiscard]] os::KernelModel& kernel() override { return *kernels_[0]; }
+  /// The *base* chip's SMT width; heterogeneous-aware policies use
+  /// threads_per_core_of(node).
   [[nodiscard]] std::uint32_t threads_per_core() const override {
     return config_.node.chip.threads_per_core();
   }
   [[nodiscard]] std::uint32_t num_nodes() const override {
     return config_.num_nodes;
   }
+  [[nodiscard]] std::uint32_t threads_per_core_of(
+      std::uint32_t node) const override;
+  [[nodiscard]] std::uint32_t num_cores_of(std::uint32_t node) override;
   [[nodiscard]] std::uint32_t node_of(RankId rank) const override;
   /// Within-node moves only: the target seat must be free on the rank's
   /// hosting node (cross-node migration is rank migration, a different
@@ -112,6 +153,11 @@ class ClusterEngine final : public mpisim::EngineControl {
 
   [[nodiscard]] os::KernelModel& node_kernel(std::uint32_t node) {
     return *kernels_[node];
+  }
+  /// Node `node`'s derived chip configuration (== config().node.chip on a
+  /// homogeneous cluster).
+  [[nodiscard]] const smt::ChipConfig& node_chip(std::uint32_t node) const {
+    return chips_[node];
   }
   [[nodiscard]] const std::vector<std::uint32_t>& node_of_rank() const {
     return placement_.node_of_rank;
@@ -132,7 +178,15 @@ class ClusterEngine final : public mpisim::EngineControl {
   mpisim::Application app_;
   ClusterPlacement placement_;
   ClusterConfig config_;
+  /// Derived per-node chips (chips_[n] == config_.node_chip(n)).
+  std::vector<smt::ChipConfig> chips_;
   std::shared_ptr<smt::ThroughputSampler> sampler_;
+  /// One sampler per *distinct* node chip; samplers_[0] == sampler_ (the
+  /// base chip's). Extra shapes attach to sampler_'s shared cache — safe
+  /// across shapes because keys fold in smt::chip_shape_seed.
+  std::vector<std::shared_ptr<smt::ThroughputSampler>> samplers_;
+  /// chips_[n]'s sampler, indexed by node.
+  std::vector<smt::ThroughputSampler*> sampler_of_node_;
   std::vector<std::unique_ptr<os::KernelModel>> kernels_;
   Interconnect interconnect_;
   mpisim::BalancePolicy* policy_ = nullptr;

@@ -52,6 +52,40 @@ ClusterPlacement ClusterPlacement::cyclic(std::size_t num_ranks,
   return placement;
 }
 
+ClusterPlacement ClusterPlacement::block_by_capacity(
+    std::size_t num_ranks, const std::vector<std::uint32_t>& contexts_of_node,
+    const std::vector<std::uint32_t>& tpc_of_node) {
+  SMTBAL_REQUIRE(!contexts_of_node.empty(),
+                 "block_by_capacity needs at least one node");
+  SMTBAL_REQUIRE(contexts_of_node.size() == tpc_of_node.size(),
+                 "block_by_capacity: contexts_of_node and tpc_of_node must "
+                 "agree in length");
+  std::size_t seats = 0;
+  for (const std::uint32_t contexts : contexts_of_node) seats += contexts;
+  if (num_ranks > seats) {
+    std::ostringstream os;
+    os << "block_by_capacity: " << num_ranks << " rank(s) but the cluster has "
+       << seats << " seat(s)";
+    throw InvalidArgument(os.str());
+  }
+  ClusterPlacement placement;
+  placement.node_of_rank.reserve(num_ranks);
+  placement.within.cpu_of_rank.reserve(num_ranks);
+  std::uint32_t node = 0;
+  std::uint32_t local = 0;
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    while (local >= contexts_of_node[node]) {
+      ++node;
+      local = 0;
+    }
+    placement.node_of_rank.push_back(node);
+    placement.within.cpu_of_rank.push_back(
+        cpu_from_local(local, tpc_of_node[node]));
+    ++local;
+  }
+  return placement;
+}
+
 ClusterPlacement ClusterPlacement::explicit_map(
     std::vector<std::uint32_t> node_of_rank, mpisim::Placement within) {
   ClusterPlacement placement;
@@ -74,6 +108,18 @@ std::vector<std::vector<std::size_t>> ClusterPlacement::ranks_by_node(
 void ClusterPlacement::validate(std::uint32_t num_nodes,
                                 std::uint32_t contexts_per_node,
                                 std::uint32_t threads_per_core) const {
+  validate(std::vector<std::uint32_t>(num_nodes, contexts_per_node),
+           std::vector<std::uint32_t>(num_nodes, threads_per_core));
+}
+
+void ClusterPlacement::validate(
+    const std::vector<std::uint32_t>& contexts_of_node,
+    const std::vector<std::uint32_t>& tpc_of_node) const {
+  SMTBAL_REQUIRE(contexts_of_node.size() == tpc_of_node.size(),
+                 "ClusterPlacement::validate: contexts_of_node and "
+                 "tpc_of_node must agree in length");
+  const std::uint32_t num_nodes =
+      static_cast<std::uint32_t>(contexts_of_node.size());
   if (node_of_rank.size() != within.cpu_of_rank.size()) {
     std::ostringstream os;
     os << "ClusterPlacement maps disagree: node_of_rank has "
@@ -83,22 +129,24 @@ void ClusterPlacement::validate(std::uint32_t num_nodes,
   }
   std::set<std::pair<std::uint32_t, std::uint32_t>> seats;
   for (std::size_t r = 0; r < node_of_rank.size(); ++r) {
-    if (node_of_rank[r] >= num_nodes) {
+    const std::uint32_t node = node_of_rank[r];
+    if (node >= num_nodes) {
       std::ostringstream os;
-      os << "rank " << r << " placed on node " << node_of_rank[r]
+      os << "rank " << r << " placed on node " << node
          << " but the cluster has " << num_nodes << " node(s)";
       throw InvalidArgument(os.str());
     }
-    const std::uint32_t lin = within.cpu_of_rank[r].linear(threads_per_core);
-    if (lin >= contexts_per_node) {
+    const std::uint32_t lin = within.cpu_of_rank[r].linear(tpc_of_node[node]);
+    if (lin >= contexts_of_node[node]) {
       std::ostringstream os;
       os << "rank " << r << " placed on within-node CPU " << lin
-         << " but each node has " << contexts_per_node << " context(s)";
+         << " but node " << node << " has " << contexts_of_node[node]
+         << " context(s)";
       throw InvalidArgument(os.str());
     }
-    if (!seats.emplace(node_of_rank[r], lin).second) {
+    if (!seats.emplace(node, lin).second) {
       std::ostringstream os;
-      os << "ranks collide on node " << node_of_rank[r] << " CPU " << lin
+      os << "ranks collide on node " << node << " CPU " << lin
          << " (one MPI rank per context)";
       throw InvalidArgument(os.str());
     }

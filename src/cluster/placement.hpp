@@ -33,6 +33,15 @@ struct ClusterPlacement {
                                  std::uint32_t num_nodes,
                                  std::uint32_t threads_per_core = 2);
 
+  /// Block layout over heterogeneous nodes: ranks fill node 0's seats in
+  /// linear order (that node's own SMT width), then node 1's, and so on.
+  /// `contexts_of_node[n]` and `tpc_of_node[n]` describe node n's chip —
+  /// pass ClusterConfig::node_chip(n).num_contexts()/threads_per_core().
+  /// Throws InvalidArgument when the ranks outnumber the total seats.
+  static ClusterPlacement block_by_capacity(
+      std::size_t num_ranks, const std::vector<std::uint32_t>& contexts_of_node,
+      const std::vector<std::uint32_t>& tpc_of_node);
+
   /// Fully explicit map; validate() checks the shape.
   static ClusterPlacement explicit_map(std::vector<std::uint32_t> node_of_rank,
                                        mpisim::Placement within);
@@ -48,6 +57,14 @@ struct ClusterPlacement {
   /// ranks share a (node, CPU) seat. Throws InvalidArgument.
   void validate(std::uint32_t num_nodes, std::uint32_t contexts_per_node,
                 std::uint32_t threads_per_core) const;
+
+  /// Heterogeneous form: node n's chip has contexts_of_node[n] contexts
+  /// and tpc_of_node[n] SMT slots per core (the two vectors must agree in
+  /// length — that length is the node count). Each rank's seat is checked
+  /// against its *own* node's shape; the uniform overload above delegates
+  /// here.
+  void validate(const std::vector<std::uint32_t>& contexts_of_node,
+                const std::vector<std::uint32_t>& tpc_of_node) const;
 };
 
 }  // namespace smtbal::cluster

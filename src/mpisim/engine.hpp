@@ -111,6 +111,21 @@ class Engine final : public EngineControl {
   [[nodiscard]] std::uint32_t threads_per_core() const override {
     return config_.chip.threads_per_core();
   }
+  [[nodiscard]] std::uint32_t threads_per_core_of(
+      std::uint32_t node) const override {
+    if (node >= 1) {
+      throw InvalidArgument("threads_per_core_of: node " +
+                            std::to_string(node) + " out of range [0, 1)");
+    }
+    return config_.chip.threads_per_core();
+  }
+  [[nodiscard]] std::uint32_t num_cores_of(std::uint32_t node) override {
+    if (node >= 1) {
+      throw InvalidArgument("num_cores_of: node " + std::to_string(node) +
+                            " out of range [0, 1)");
+    }
+    return config_.chip.num_cores;
+  }
   void move_rank(RankId rank, CpuId to) override;
   void swap_ranks(RankId a, RankId b) override;
   void install_budgets(int per_node_budget) override;

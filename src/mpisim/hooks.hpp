@@ -103,11 +103,38 @@ class EngineControl {
 
   // --- widened actuation surface (defaults keep narrow adapters valid) ------
 
-  /// SMT contexts per core of the underlying chip (uniform across nodes).
+  /// SMT contexts per core of the reference chip — node 0's shape on a
+  /// heterogeneous cluster. Seat-aware policies should prefer the
+  /// per-node accessors below.
   [[nodiscard]] virtual std::uint32_t threads_per_core() const { return 2; }
 
   /// Number of cluster nodes behind this control (1 for the flat engine).
   [[nodiscard]] virtual std::uint32_t num_nodes() const { return 1; }
+
+  /// SMT contexts per core of `node`'s chip. Nodes may differ (mixed-width
+  /// clusters); the default assumes the uniform shape. Throws
+  /// InvalidArgument on an out-of-range node id.
+  [[nodiscard]] virtual std::uint32_t threads_per_core_of(
+      std::uint32_t node) const {
+    if (node >= num_nodes()) {
+      throw InvalidArgument("threads_per_core_of: node " +
+                            std::to_string(node) + " out of range [0, " +
+                            std::to_string(num_nodes()) + ")");
+    }
+    return threads_per_core();
+  }
+
+  /// Number of cores on `node`'s chip. The default derives the uniform
+  /// shape from the kernel's CPU count. Throws InvalidArgument on an
+  /// out-of-range node id.
+  [[nodiscard]] virtual std::uint32_t num_cores_of(std::uint32_t node) {
+    if (node >= num_nodes()) {
+      throw InvalidArgument("num_cores_of: node " + std::to_string(node) +
+                            " out of range [0, " + std::to_string(num_nodes()) +
+                            ")");
+    }
+    return kernel().num_cpus() / threads_per_core();
+  }
 
   /// The node hosting `rank`. Throws InvalidArgument on an out-of-range
   /// rank id.

@@ -48,6 +48,7 @@ Sim::Sim(const Application& app, const Placement& placement,
     NodeRt& node = nodes_[n];
     node.ctx = nodes[n];
     node.ctx_base = ctx_base;
+    node.shape_seed = node.ctx.sampler->shape_seed();
     const std::uint32_t contexts = node.ctx.chip->num_contexts();
     node.words.assign(contexts, 0);
     node.chain.assign(contexts, 0);
@@ -256,7 +257,8 @@ void Sim::refresh_rates() {
     const std::uint32_t from =
         used == node.used ? std::min(first_changed, used) : 0;
     std::uint64_t chain_state =
-        from == 0 ? smt::ChipLoad::chain_seed(used) : node.chain[from - 1];
+        from == 0 ? smt::ChipLoad::chain_seed(used, node.shape_seed)
+                  : node.chain[from - 1];
     for (std::uint32_t i = from; i < used; ++i) {
       chain_state = smt::ChipLoad::chain_mix(chain_state, node.words[i]);
       node.chain[i] = chain_state;

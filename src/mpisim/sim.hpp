@@ -153,6 +153,11 @@ class Sim final : public CollectiveClient, public AuditSource {
     std::vector<std::uint64_t> words;
     std::vector<std::uint64_t> chain;
     std::uint32_t used = 0;
+    /// The node sampler's chip-shape seed, cached so the chain reseed on a
+    /// prefix-length change stays a constant-time XOR. Seeding the chain
+    /// with it keeps the incremental keys bit-identical to what
+    /// sampler->sample(load) would compute (ChipLoad::key(shape_seed)).
+    std::uint64_t shape_seed = 0;
   };
 
   [[nodiscard]] NodeRt& node_of(std::size_t rank) {

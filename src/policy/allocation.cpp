@@ -36,9 +36,6 @@ void AllocationPolicy::on_epoch(mpisim::EngineControl& control,
   if (report.epoch < config_.warmup_epochs) return;
   if ((report.epoch - config_.warmup_epochs) % config_.interval != 0) return;
 
-  const std::uint32_t tpc = control.threads_per_core();
-  const std::uint32_t num_cores = control.kernel().num_cpus() / tpc;
-
   std::map<std::uint32_t, std::vector<std::size_t>> ranks_of_node;
   for (std::size_t r = 0; r < report.ranks.size(); ++r) {
     if (report.ranks[r].priority == 0) continue;
@@ -48,6 +45,10 @@ void AllocationPolicy::on_epoch(mpisim::EngineControl& control,
 
   std::vector<SeatAssignment> desired;
   for (auto& [node, ranks] : ranks_of_node) {
+    // The node's own shape — seat counts vary across the nodes of a
+    // heterogeneous cluster.
+    const std::uint32_t tpc = control.threads_per_core_of(node);
+    const std::uint32_t num_cores = control.num_cores_of(node);
     // The bins: every core of the node's chip when spreading, otherwise
     // just the cores the node's ranks occupy today.
     std::vector<std::uint32_t> cores;

@@ -35,8 +35,9 @@ void IlpPairingPolicy::on_epoch(mpisim::EngineControl& control,
   if (report.epoch < config_.warmup_epochs) return;
   if ((report.epoch - config_.warmup_epochs) % config_.interval != 0) return;
 
-  const std::uint32_t tpc = control.threads_per_core();
   // Group the live ranks by hosting node; each node re-pairs on its own.
+  // The pairing is shape-agnostic — it permutes the seats the ranks
+  // already occupy — so mixed-width nodes need no special handling.
   std::map<std::uint32_t, std::vector<std::size_t>> ranks_of_node;
   for (std::size_t r = 0; r < report.ranks.size(); ++r) {
     if (report.ranks[r].priority == 0) continue;
@@ -91,7 +92,6 @@ void IlpPairingPolicy::on_epoch(mpisim::EngineControl& control,
       SMTBAL_CHECK(pass <= order.size());  // every pass with seats left progresses
     }
     SMTBAL_CHECK(filled == order.size());
-    (void)tpc;
   }
   moves_ += apply_seating(control, desired);
 }

@@ -18,7 +18,12 @@ using SeatKey = std::pair<std::uint32_t, std::uint32_t>;  // (node, linear)
 
 std::size_t apply_seating(mpisim::EngineControl& control,
                           const std::vector<SeatAssignment>& desired) {
-  const std::uint32_t tpc = control.threads_per_core();
+  // Seats are keyed by (node, linear-on-that-node): each node's own SMT
+  // width does the linearisation, so distinct seats on a wide node of a
+  // mixed-width cluster never alias.
+  const auto linear_on = [&control](std::uint32_t node, CpuId seat) {
+    return seat.linear(control.threads_per_core_of(node));
+  };
   // Working copies: control.placement() is live engine state that our own
   // actuations mutate, so track seats locally and only read it once.
   std::vector<CpuId> cur = control.placement().cpu_of_rank;
@@ -30,12 +35,14 @@ std::size_t apply_seating(mpisim::EngineControl& control,
     // the engine would silently ignore a swap with them, desynchronising
     // this map — leave them out.
     if (control.rank_priority(rank) == 0) continue;
-    occupant.emplace(SeatKey{control.node_of(rank), cur[r].linear(tpc)}, rank);
+    const std::uint32_t node = control.node_of(rank);
+    occupant.emplace(SeatKey{node, linear_on(node, cur[r])}, rank);
   }
 
   std::map<SeatKey, RankId> claimed;
   for (const SeatAssignment& a : desired) {
-    const SeatKey key{control.node_of(a.rank), a.seat.linear(tpc)};
+    const std::uint32_t node = control.node_of(a.rank);
+    const SeatKey key{node, linear_on(node, a.seat)};
     const auto [it, fresh] = claimed.emplace(key, a.rank);
     if (!fresh) {
       throw InvalidArgument(
@@ -57,8 +64,8 @@ std::size_t apply_seating(mpisim::EngineControl& control,
     }
     if (control.rank_priority(a.rank) == 0) continue;  // exited: nothing to seat
     const std::uint32_t node = control.node_of(a.rank);
-    const SeatKey from{node, cur[r].linear(tpc)};
-    const SeatKey to{node, a.seat.linear(tpc)};
+    const SeatKey from{node, linear_on(node, cur[r])};
+    const SeatKey to{node, linear_on(node, a.seat)};
     if (from == to) continue;
     const auto it = occupant.find(to);
     if (it != occupant.end()) {

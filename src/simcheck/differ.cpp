@@ -255,6 +255,8 @@ ScenarioSpec shrink_spec(
   // healed by sanitize_spec; no-op mutations are skipped via equality.
   using Mutator = void (*)(ScenarioSpec&);
   static constexpr Mutator kMutators[] = {
+      [](ScenarioSpec& s) { s.hetero = false; },
+      [](ScenarioSpec& s) { s.family = 0; },
       [](ScenarioSpec& s) { s.num_nodes = 1; },
       [](ScenarioSpec& s) { --s.num_nodes; },
       [](ScenarioSpec& s) { s.num_ranks = 2; },

@@ -8,6 +8,9 @@
 
 #include "common/rng.hpp"
 #include "isa/kernel.hpp"
+#include "workloads/drift.hpp"
+#include "workloads/master_worker.hpp"
+#include "workloads/stencil.hpp"
 
 namespace smtbal::simcheck {
 
@@ -29,6 +32,53 @@ isa::KernelId pick_kernel(Rng& rng) {
   return isa::KernelRegistry::instance().by_name(name).id;
 }
 
+/// Families 1..3 delegate to the real workload builders with rng-drawn
+/// parameters. Instruction counts stay in the same cheap 1e5..1e6 band as
+/// the block generator so a fuzz iteration's cost is family-independent.
+mpisim::Application build_family_app(const ScenarioSpec& spec, Rng& rng) {
+  const std::string kernel(kComputePool[rng.below(kComputePool.size())]);
+  const double instructions = 1e5 + rng.uniform() * 9e5;
+  const int iterations = static_cast<int>(spec.blocks);
+  switch (spec.family) {
+    case 1: {
+      workloads::StencilConfig config;
+      config.num_ranks = spec.num_ranks;
+      config.iterations = iterations;
+      config.load_kernel = kernel;
+      config.base_instructions = instructions;
+      config.peak_factor = 1.0 + rng.uniform() * 2.0;
+      config.halo_bytes = 8 * rng.range(1, 512);
+      config.periodic = rng.chance(0.5);
+      return workloads::build_stencil(config);
+    }
+    case 2: {
+      workloads::MasterWorkerConfig config;
+      config.num_ranks = spec.num_ranks;
+      config.rounds = iterations;
+      config.load_kernel = kernel;
+      config.work_instructions = instructions;
+      config.master_instructions = rng.chance(0.25) ? 0.0 : instructions * 0.1;
+      config.task_bytes = 8 * rng.range(1, 512);
+      config.result_bytes = 8 * rng.range(1, 512);
+      config.straggler_period = rng.chance(0.25) ? 0 : 1;
+      config.straggler_factor = 1.5 + rng.uniform() * 2.5;
+      return workloads::build_master_worker(config);
+    }
+    default: {
+      workloads::DriftConfig config;
+      config.num_ranks = spec.num_ranks;
+      config.iterations = iterations;
+      config.load_kernel = kernel;
+      config.base_instructions = instructions;
+      config.peak_factor = 1.5 + rng.uniform() * 2.5;
+      config.front_width = 1.0 + rng.uniform() * 2.0;
+      config.drift_speed = rng.uniform() * 1.5;
+      if (rng.chance(0.3)) config.stat_duration = 1e-5 + rng.uniform() * 9e-4;
+      return workloads::build_drift(config);
+    }
+  }
+}
+
 }  // namespace
 
 ScenarioSpec sanitize_spec(ScenarioSpec spec) {
@@ -40,6 +90,8 @@ ScenarioSpec sanitize_spec(ScenarioSpec spec) {
   spec.num_ranks = std::clamp(spec.num_ranks, 2u, std::max(seats, 2u));
   spec.num_nodes = std::min(spec.num_nodes, spec.num_ranks);
   spec.blocks = std::clamp(spec.blocks, 1u, 8u);
+  spec.family = std::min(spec.family, 3u);
+  if (spec.num_nodes < 2) spec.hetero = false;
   return spec;
 }
 
@@ -51,7 +103,8 @@ std::string to_string(const ScenarioSpec& spec) {
      << " flavor=" << (spec.vanilla ? "vanilla" : "patched")
      << " noise=" << (spec.with_noise ? 1 : 0)
      << " prios=" << (spec.with_priorities ? 1 : 0)
-     << " cyclic=" << (spec.cyclic_placement ? 1 : 0);
+     << " cyclic=" << (spec.cyclic_placement ? 1 : 0)
+     << " family=" << spec.family << " hetero=" << (spec.hetero ? 1 : 0);
   return os.str();
 }
 
@@ -77,6 +130,11 @@ ScenarioSpec random_spec(std::uint64_t seed) {
   spec.with_noise = rng.chance(0.4);
   spec.with_priorities = rng.chance(0.6);
   spec.cyclic_placement = rng.chance(0.5);
+  // New dimensions draw *after* every historical one so a given seed's
+  // historical shape fields are unchanged by their introduction.
+  spec.family = rng.chance(0.55) ? 0u
+                                 : static_cast<std::uint32_t>(rng.below(3)) + 1u;
+  spec.hetero = spec.num_nodes > 1 && rng.chance(0.35);
   return sanitize_spec(spec);
 }
 
@@ -96,6 +154,8 @@ Scenario build_scenario(const ScenarioSpec& raw) {
   Rng program_rng(splitmix64(s));
   Rng placement_rng(splitmix64(s));
   Rng config_rng(splitmix64(s));
+  // Drawn fourth so pre-hetero streams keep their historical seeds.
+  Rng hetero_rng(splitmix64(s));
 
   Scenario out;
 
@@ -148,8 +208,47 @@ Scenario build_scenario(const ScenarioSpec& raw) {
     out.cluster_config.interconnect.topology = cluster::Topology::kStar;
   }
 
+  // --- heterogeneous node shapes ---------------------------------------------
+  if (spec.hetero) {
+    // Overrides only ever grow a node's seat capacity (SMT width up to 4,
+    // core count up to 4): the block/cyclic placements above were derived
+    // from the base shape, and a seat valid on the base chip is valid on
+    // any same-or-larger chip. Clock scaling is capacity-neutral.
+    out.cluster_config.node_shapes.resize(spec.num_nodes);
+    bool any = false;
+    for (auto& shape : out.cluster_config.node_shapes) {
+      if (hetero_rng.chance(0.4)) {
+        shape.threads_per_core = 4;
+        any = any || spec.threads_per_core != 4;
+      }
+      if (hetero_rng.chance(0.4)) {
+        shape.num_cores = static_cast<std::uint32_t>(
+            hetero_rng.range(spec.num_cores, 4));
+        any = any || shape.num_cores != spec.num_cores;
+      }
+      if (hetero_rng.chance(0.4)) {
+        shape.clock_scale = hetero_rng.chance(0.5) ? 0.8 : 1.25;
+        any = true;
+      }
+    }
+    if (!any) {  // guarantee the spec's label is honest
+      out.cluster_config.node_shapes.back().clock_scale = 1.25;
+    }
+  }
+
   // --- application ------------------------------------------------------------
   const std::uint32_t n = spec.num_ranks;
+  if (spec.family != 0) {
+    out.app = build_family_app(spec, program_rng);
+    if (spec.with_priorities) {
+      const std::uint64_t lo = 2, hi = spec.vanilla ? 4 : 6;
+      out.priorities.reserve(n);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        out.priorities.push_back(static_cast<int>(program_rng.range(lo, hi)));
+      }
+    }
+    return out;
+  }
   out.app.name = "fuzz";
   out.app.ranks.resize(n);
   for (std::uint32_t b = 0; b < spec.blocks; ++b) {

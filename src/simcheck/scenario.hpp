@@ -41,6 +41,15 @@ struct ScenarioSpec {
   bool with_noise = false;
   bool with_priorities = false;        ///< static per-rank priorities
   bool cyclic_placement = false;       ///< multi-node: cyclic vs block
+  /// Workload family: 0 = random compute/sync blocks (the historical
+  /// generator, byte-identical to before this field existed), 1 = halo
+  /// stencil, 2 = master-worker with stragglers, 3 = drifting load.
+  std::uint32_t family = 0;
+  /// Multi-node only: draw per-node shape overrides (mixed SMT widths,
+  /// extra cores, clock scaling). Overrides only ever *grow* a node's
+  /// seat capacity, so block/cyclic placements computed from the base
+  /// shape stay valid.
+  bool hetero = false;
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 };

@@ -1,6 +1,7 @@
 #include "smt/sampler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,7 +11,19 @@
 
 namespace smtbal::smt {
 
-std::uint64_t ChipLoad::key() const {
+std::uint64_t chip_shape_seed(const ChipConfig& config) {
+  // splitmix64-chain the rate-relevant shape fields. The result has full
+  // avalanche, so XOR-ing it into ChipLoad::chain_seed relocates the key
+  // space without weakening the per-load hash.
+  std::uint64_t state = ChipLoad::chain_mix(0xc1e0'5eed'0000'0001ULL,
+                                            config.num_cores);
+  state = ChipLoad::chain_mix(state, config.threads_per_core());
+  state = ChipLoad::chain_mix(
+      state, std::bit_cast<std::uint64_t>(config.frequency_ghz));
+  return state;
+}
+
+std::uint64_t ChipLoad::key(std::uint64_t shape_seed) const {
   // splitmix64-chained hash over the per-context (kernel, priority) words.
   // kMaxContexts x ~36 significant bits do not fit a packed 64-bit key, so we
   // mix instead; collisions are ~2^-64 per pair of configurations.
@@ -26,7 +39,7 @@ std::uint64_t ChipLoad::key() const {
   std::size_t used = contexts.size();
   while (used > 0 && !contexts[used - 1].has_value()) --used;
   std::uint64_t engaged = 0;
-  std::uint64_t state = chain_seed(used);
+  std::uint64_t state = chain_seed(used, shape_seed);
   for (std::size_t ctx = 0; ctx < used; ++ctx) {
     const auto& slot = contexts[ctx];
     std::uint64_t word = 0;
@@ -40,7 +53,10 @@ std::uint64_t ChipLoad::key() const {
 }
 
 ThroughputSampler::ThroughputSampler(ChipConfig config, Options options)
-    : config_(std::move(config)), options_(options), chip_(config_) {
+    : config_(std::move(config)),
+      options_(options),
+      shape_seed_(chip_shape_seed(config_)),
+      chip_(config_) {
   if (config_.num_contexts() > kMaxContexts) {
     throw InvalidArgument(
         "chip has " + std::to_string(config_.num_contexts()) +
@@ -121,7 +137,7 @@ std::size_t SampleCache::size() const {
 }
 
 const SampleResult& ThroughputSampler::sample(const ChipLoad& load) {
-  const std::uint64_t key = load.key();
+  const std::uint64_t key = load.key(shape_seed_);
   if (const SampleResult* hit = probe(key)) return *hit;
   return sample_measured(key, load);
 }

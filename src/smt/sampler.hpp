@@ -59,7 +59,13 @@ struct ChipLoad {
   /// probability ~2^-64 per pair, in which case the memoised result of
   /// the first load would be served for the second. No kernel-id range
   /// restriction applies.
-  [[nodiscard]] std::uint64_t key() const;
+  ///
+  /// `shape_seed` folds the identity of the chip the load runs on into the
+  /// key (see chip_shape_seed). With the default of 0 the key depends on
+  /// the load alone — the historical behaviour. Samplers pass their own
+  /// shape seed so that equal loads measured on differently-shaped chips
+  /// (heterogeneous cluster nodes) can never share a cache entry.
+  [[nodiscard]] std::uint64_t key(std::uint64_t shape_seed = 0) const;
 
   // The key's hash chain, exposed piecewise so callers that track the
   // per-context words themselves (mpisim::detail::Sim) can re-mix only
@@ -74,8 +80,11 @@ struct ChipLoad {
            static_cast<std::uint64_t>(priority);
   }
   /// Chain state before the first context word, for a `used`-long prefix.
-  [[nodiscard]] static constexpr std::uint64_t chain_seed(std::uint64_t used) {
-    return 0x5b17'ba1a'ce00'0001ULL ^ used;
+  /// `shape_seed` (full-entropy, see chip_shape_seed) relocates the whole
+  /// key space per chip shape; 0 keeps the historical load-only keys.
+  [[nodiscard]] static constexpr std::uint64_t chain_seed(
+      std::uint64_t used, std::uint64_t shape_seed = 0) {
+    return (0x5b17'ba1a'ce00'0001ULL ^ shape_seed) ^ used;
   }
   /// Mixes one context word into the chain (full avalanche per word).
   [[nodiscard]] static constexpr std::uint64_t chain_mix(std::uint64_t state,
@@ -90,6 +99,15 @@ struct ChipLoad {
     return splitmix64(tail);
   }
 };
+
+/// Hashes the rate-relevant shape of a chip — core count, SMT width and
+/// clock frequency — into a full-entropy 64-bit seed for ChipLoad::key().
+/// Folding the shape into every key makes it safe to share one SampleCache
+/// between samplers whose chips differ in exactly these fields (mixed-width
+/// or clock-scaled cluster nodes): equal loads on different shapes can no
+/// longer collide. Chips differing in fields NOT folded here (core
+/// micro-architecture, memory hierarchy) must still use separate caches.
+[[nodiscard]] std::uint64_t chip_shape_seed(const ChipConfig& config);
 
 /// Steady-state rates measured for one chip configuration.
 struct SampleResult {
@@ -213,8 +231,8 @@ class ThroughputSampler {
   /// key() (the engine's incremental key chain): probe() answers from the
   /// local memo / shared cache without needing the ChipLoad at all
   /// (nullptr on miss), and sample_measured() runs the cycle model for a
-  /// probed-and-missed load. sample(load) ==
-  /// probe(load.key()) ?: sample_measured(load.key(), load), counters
+  /// probed-and-missed load. With k = load.key(shape_seed()),
+  /// sample(load) == probe(k) ?: sample_measured(k, load), counters
   /// included, so the two forms are interchangeable per lookup.
   [[nodiscard]] const SampleResult* probe(std::uint64_t key);
   const SampleResult& sample_measured(std::uint64_t key, const ChipLoad& load);
@@ -234,11 +252,18 @@ class ThroughputSampler {
   [[nodiscard]] const ChipConfig& chip_config() const { return config_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// chip_shape_seed(chip_config()), precomputed. Callers that key loads
+  /// themselves (mpisim::detail::Sim's incremental chain) must seed their
+  /// chain with ChipLoad::chain_seed(used, shape_seed()) so probe() /
+  /// sample_measured() see the same keys sample() would compute.
+  [[nodiscard]] std::uint64_t shape_seed() const { return shape_seed_; }
+
  private:
   SampleResult measure(const ChipLoad& load);
 
   ChipConfig config_;
   Options options_;
+  std::uint64_t shape_seed_;
   Chip chip_;
   std::unordered_map<std::uint64_t, SampleResult> cache_;
   std::shared_ptr<SampleCache> shared_cache_;

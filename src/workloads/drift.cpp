@@ -1,0 +1,52 @@
+#include "workloads/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::workloads {
+
+void DriftConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2, "DriftConfig.num_ranks must be >= 2");
+  SMTBAL_REQUIRE(iterations > 0, "DriftConfig.iterations must be positive");
+  SMTBAL_REQUIRE(base_instructions > 0.0,
+                 "DriftConfig.base_instructions must be > 0");
+  SMTBAL_REQUIRE(peak_factor >= 1.0, "DriftConfig.peak_factor must be >= 1");
+  SMTBAL_REQUIRE(front_width > 0.0, "DriftConfig.front_width must be > 0");
+  SMTBAL_REQUIRE(drift_speed >= 0.0, "DriftConfig.drift_speed must be >= 0");
+  SMTBAL_REQUIRE(stat_duration >= 0.0, "DriftConfig.stat_duration must be >= 0");
+}
+
+double DriftConfig::load_of(std::size_t rank, int iteration) const {
+  const double n = static_cast<double>(num_ranks);
+  const double centre = std::fmod(iteration * drift_speed, n);
+  const double direct = std::abs(static_cast<double>(rank) - centre);
+  const double distance = std::min(direct, n - direct);  // circular domain
+  const double bump = std::max(0.0, 1.0 - distance / front_width);
+  return base_instructions * (1.0 + (peak_factor - 1.0) * bump);
+}
+
+mpisim::Application build_drift(const DriftConfig& config) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+
+  mpisim::Application app;
+  app.name = "Drift";
+  app.ranks.resize(config.num_ranks);
+  for (std::size_t r = 0; r < config.num_ranks; ++r) {
+    auto& program = app.ranks[r];
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, config.load_of(r, i));
+      if (config.stat_duration > 0.0) {
+        program.delay(config.stat_duration, trace::RankState::kStat);
+      }
+      program.barrier();
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

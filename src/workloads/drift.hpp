@@ -1,0 +1,47 @@
+// AMR-style drifting-load family (the HemoCell use-case).
+//
+// Models adaptive mesh refinement / moving-feature codes: a refinement
+// front — a region of elevated compute cost — travels through the 1-D
+// rank domain as the simulation progresses, so each rank's per-iteration
+// compute load evolves over time. The heavy ranks at iteration 0 are not
+// the heavy ranks at iteration N: any priority assignment fixed at start
+// is wrong for most of the run, which is exactly where observation-driven
+// policies separate from static tuning.
+#pragma once
+
+#include <string>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct DriftConfig {
+  std::size_t num_ranks = 8;
+  int iterations = 16;
+  std::string load_kernel = std::string(isa::kKernelHpcMixed);
+  /// Instructions a rank outside the front computes per iteration.
+  double base_instructions = 5e8;
+  /// Compute multiplier at the centre of the refinement front.
+  double peak_factor = 3.0;
+  /// Half-width of the front, in ranks (loads fall off linearly to the
+  /// base level over this distance).
+  double front_width = 2.0;
+  /// Ranks the front's centre advances per iteration (wraps around the
+  /// domain).
+  double drift_speed = 0.5;
+  /// Per-iteration statistics phase (0 = none).
+  SimTime stat_duration = 0.0;
+
+  void validate() const;
+
+  /// Rank `rank`'s compute load at `iteration`: base_instructions scaled
+  /// by the front's bump at the rank's (circular) distance from the
+  /// front centre, which sits at iteration * drift_speed (mod num_ranks).
+  [[nodiscard]] double load_of(std::size_t rank, int iteration) const;
+};
+
+/// Builds the drifting-load application: per iteration, compute the
+/// evolving load, optionally run statistics, then a global barrier.
+[[nodiscard]] mpisim::Application build_drift(const DriftConfig& config);
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,74 @@
+#include "workloads/master_worker.hpp"
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::workloads {
+
+void MasterWorkerConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2,
+                 "MasterWorkerConfig.num_ranks must be >= 2 (a master and at "
+                 "least one worker)");
+  SMTBAL_REQUIRE(rounds > 0, "MasterWorkerConfig.rounds must be positive");
+  SMTBAL_REQUIRE(work_instructions > 0.0,
+                 "MasterWorkerConfig.work_instructions must be > 0");
+  SMTBAL_REQUIRE(master_instructions >= 0.0,
+                 "MasterWorkerConfig.master_instructions must be >= 0");
+  SMTBAL_REQUIRE(straggler_period >= 0,
+                 "MasterWorkerConfig.straggler_period must be >= 0");
+  SMTBAL_REQUIRE(straggler_factor >= 1.0,
+                 "MasterWorkerConfig.straggler_factor must be >= 1");
+}
+
+bool MasterWorkerConfig::is_straggler(std::size_t worker, int round) const {
+  if (straggler_period <= 0 || straggler_factor == 1.0) return false;
+  if (round % straggler_period != 0) return false;
+  const std::size_t num_workers = num_ranks - 1;
+  return worker == static_cast<std::size_t>(round / straggler_period) %
+                       num_workers;
+}
+
+mpisim::Application build_master_worker(const MasterWorkerConfig& config) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+  const std::size_t num_workers = config.num_ranks - 1;
+
+  mpisim::Application app;
+  app.name = "MasterWorker";
+  app.ranks.resize(config.num_ranks);
+  const auto master = RankId{0};
+
+  for (int round = 0; round < config.rounds; ++round) {
+    // Master: scatter the round's tasks, merge while the workers run,
+    // then gather. The gather's wait_all is the round's only global
+    // synchronisation point.
+    auto& mp = app.ranks[0];
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      mp.send(RankId{static_cast<std::uint32_t>(w + 1)}, config.task_bytes,
+              2 * round);
+    }
+    if (config.master_instructions > 0.0) {
+      mp.compute(kernel, config.master_instructions);
+    }
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      mp.recv(RankId{static_cast<std::uint32_t>(w + 1)}, config.result_bytes,
+              2 * round + 1);
+    }
+    mp.wait_all();
+
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      auto& wp = app.ranks[w + 1];
+      wp.recv(master, config.task_bytes, 2 * round);
+      wp.wait_all();
+      const double load =
+          config.work_instructions *
+          (config.is_straggler(w, round) ? config.straggler_factor : 1.0);
+      wp.compute(kernel, load);
+      wp.send(master, config.result_bytes, 2 * round + 1);
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

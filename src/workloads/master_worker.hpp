@@ -1,0 +1,48 @@
+// Master–worker family with straggler injection.
+//
+// Rank 0 is the master: every round it scatters one task to each worker,
+// does a little bookkeeping compute, then gathers the results. Workers
+// receive their task, compute, and send the result back. There is no
+// global collective — the only synchronisation is the master's gather —
+// so the round time is the slowest worker's, and an injected straggler
+// (a worker whose round's load is multiplied) stalls everyone. The
+// straggler rotates between rounds, so no static priority assignment
+// tracks it; dynamic policies must follow the observations.
+#pragma once
+
+#include <string>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct MasterWorkerConfig {
+  /// Total ranks: one master (rank 0) + num_ranks-1 workers.
+  std::size_t num_ranks = 5;
+  int rounds = 10;
+  std::string load_kernel = std::string(isa::kKernelHpcMixed);
+  /// Instructions a worker computes per round (before any straggling).
+  double work_instructions = 1e9;
+  /// The master's per-round dispatch/merge compute.
+  double master_instructions = 5e7;
+  std::uint64_t task_bytes = 16 * 1024;
+  std::uint64_t result_bytes = 16 * 1024;
+  /// Inject a straggler every `straggler_period` rounds (1 = every
+  /// round); 0 disables injection.
+  int straggler_period = 1;
+  /// The straggling worker's load multiplier for that round.
+  double straggler_factor = 3.0;
+
+  void validate() const;
+
+  /// Whether worker `worker` (0-based, i.e. rank worker+1) straggles in
+  /// `round`. The victim rotates: round k's straggler is worker
+  /// (k / straggler_period) mod num_workers on injection rounds.
+  [[nodiscard]] bool is_straggler(std::size_t worker, int round) const;
+};
+
+/// Builds the master–worker application described above.
+[[nodiscard]] mpisim::Application build_master_worker(
+    const MasterWorkerConfig& config);
+
+}  // namespace smtbal::workloads

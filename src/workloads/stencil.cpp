@@ -1,0 +1,57 @@
+#include "workloads/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::workloads {
+
+void StencilConfig::validate() const {
+  SMTBAL_REQUIRE(num_ranks >= 2, "StencilConfig.num_ranks must be >= 2");
+  SMTBAL_REQUIRE(iterations > 0, "StencilConfig.iterations must be positive");
+  SMTBAL_REQUIRE(base_instructions > 0.0,
+                 "StencilConfig.base_instructions must be > 0");
+  SMTBAL_REQUIRE(peak_factor >= 1.0, "StencilConfig.peak_factor must be >= 1");
+}
+
+double StencilConfig::load_of(std::size_t rank) const {
+  const double centre = static_cast<double>(num_ranks - 1) / 2.0;
+  const double half_width = static_cast<double>(num_ranks) / 2.0;
+  const double distance = std::abs(static_cast<double>(rank) - centre);
+  const double bump = std::max(0.0, 1.0 - distance / half_width);
+  return base_instructions * (1.0 + (peak_factor - 1.0) * bump);
+}
+
+mpisim::Application build_stencil(const StencilConfig& config) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+  const std::size_t n = config.num_ranks;
+
+  mpisim::Application app;
+  app.name = "Stencil";
+  app.ranks.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto& program = app.ranks[r];
+    const bool has_left = config.periodic || r > 0;
+    const bool has_right = config.periodic || r + 1 < n;
+    const auto left = RankId{static_cast<std::uint32_t>((r + n - 1) % n)};
+    const auto right = RankId{static_cast<std::uint32_t>((r + 1) % n)};
+    for (int i = 0; i < config.iterations; ++i) {
+      program.compute(kernel, config.load_of(r));
+      // Post both halo directions, then block until the neighbours'
+      // layers arrive. Tags are per-iteration so the matching is
+      // unambiguous even between the two directions of a 2-rank ring.
+      if (has_left) program.send(left, config.halo_bytes, 2 * i);
+      if (has_right) program.send(right, config.halo_bytes, 2 * i + 1);
+      if (has_left) program.recv(left, config.halo_bytes, 2 * i + 1);
+      if (has_right) program.recv(right, config.halo_bytes, 2 * i);
+      program.wait_all();
+    }
+  }
+  return app;
+}
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,43 @@
+// Halo-exchange stencil family: neighbour-only communication.
+//
+// A 1-D domain decomposition: every iteration each rank computes its
+// sub-domain, exchanges halo layers with its left/right neighbours
+// (point-to-point send/recv + wait_all — no global collective), and
+// repeats. Imbalance comes from a static load bump centred mid-domain
+// (e.g. a refined mesh region): the heavy ranks are known up front, so
+// static priority policies *can* win here — the contrast case to the
+// drifting-load family (workloads/drift.hpp).
+#pragma once
+
+#include <string>
+
+#include "mpisim/phase.hpp"
+
+namespace smtbal::workloads {
+
+struct StencilConfig {
+  std::size_t num_ranks = 8;
+  int iterations = 10;
+  std::string load_kernel = std::string(isa::kKernelHpcMixed);
+  /// Instructions an unloaded (bump-free) rank computes per iteration.
+  double base_instructions = 1e9;
+  /// Compute multiplier at the centre of the load bump; 1.0 = balanced.
+  double peak_factor = 2.0;
+  /// Halo layer exchanged with each neighbour, per iteration.
+  std::uint64_t halo_bytes = 64 * 1024;
+  /// Periodic (ring) boundaries; false = open chain, the boundary ranks
+  /// have a single neighbour.
+  bool periodic = false;
+
+  void validate() const;
+
+  /// Rank `rank`'s per-iteration compute load: base_instructions scaled
+  /// by a triangular bump peaking at peak_factor mid-domain.
+  [[nodiscard]] double load_of(std::size_t rank) const;
+};
+
+/// Builds the stencil application: per iteration, compute the sub-domain,
+/// post halo sends/recvs to the neighbours, wait_all.
+[[nodiscard]] mpisim::Application build_stencil(const StencilConfig& config);
+
+}  // namespace smtbal::workloads

@@ -1,0 +1,404 @@
+#include "workloads/trace_replay.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <variant>
+
+#include "common/error.hpp"
+#include "isa/kernel.hpp"
+
+namespace smtbal::workloads {
+
+namespace {
+
+/// One parsed JSON value: the raw text plus whether it was quoted.
+struct Field {
+  bool is_string = false;
+  std::string text;
+};
+
+using Record = std::map<std::string, Field>;
+
+[[noreturn]] void fail(std::string_view source, std::size_t line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << source << ":" << line << ": " << message;
+  throw InvalidArgument(os.str());
+}
+
+/// Parses one flat JSON object — string keys, string/number values, no
+/// nesting. Strict enough that every malformed line carries a usable
+/// message; escapes \" \\ \/ \n \t are honoured in strings.
+Record parse_flat_object(const std::string& text, std::string_view source,
+                         std::size_t line) {
+  Record record;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  };
+  const auto expect = [&](char c, const std::string& what) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c) {
+      fail(source, line, "expected " + what);
+    }
+    ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    expect('"', "'\"'");
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      char c = text[i++];
+      if (c == '\\') {
+        if (i >= text.size()) fail(source, line, "unterminated escape");
+        const char esc = text[i++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            fail(source, line,
+                 std::string("unsupported escape '\\") + esc + "'");
+        }
+      }
+      out.push_back(c);
+    }
+    if (i >= text.size()) fail(source, line, "unterminated string");
+    ++i;  // closing quote
+    return out;
+  };
+
+  expect('{', "'{' (one JSON object per line)");
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      expect(':', "':' after key \"" + key + "\"");
+      skip_ws();
+      Field field;
+      if (i < text.size() && text[i] == '"') {
+        field.is_string = true;
+        field.text = parse_string();
+      } else {
+        const std::size_t start = i;
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               text[i] != ' ' && text[i] != '\t') {
+          ++i;
+        }
+        field.text = text.substr(start, i - start);
+        if (field.text.empty()) {
+          fail(source, line, "missing value for key \"" + key + "\"");
+        }
+      }
+      if (!record.emplace(key, std::move(field)).second) {
+        fail(source, line, "duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    expect('}', "',' or '}'");
+  }
+  skip_ws();
+  if (i != text.size()) {
+    fail(source, line, "trailing characters after the JSON object");
+  }
+  return record;
+}
+
+const Field& require_field(const Record& record, const std::string& key,
+                           std::string_view source, std::size_t line) {
+  const auto it = record.find(key);
+  if (it == record.end()) {
+    fail(source, line, "missing required field \"" + key + "\"");
+  }
+  return it->second;
+}
+
+std::string require_string(const Record& record, const std::string& key,
+                           std::string_view source, std::size_t line) {
+  const Field& field = require_field(record, key, source, line);
+  if (!field.is_string) {
+    fail(source, line, "field \"" + key + "\" must be a string");
+  }
+  return field.text;
+}
+
+double require_number(const Record& record, const std::string& key,
+                      std::string_view source, std::size_t line) {
+  const Field& field = require_field(record, key, source, line);
+  if (field.is_string) {
+    fail(source, line, "field \"" + key + "\" must be a number");
+  }
+  const char* begin = field.text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + field.text.size()) {
+    fail(source, line,
+         "field \"" + key + "\" is not a number: '" + field.text + "'");
+  }
+  return value;
+}
+
+double optional_number(const Record& record, const std::string& key,
+                       double fallback, std::string_view source,
+                       std::size_t line) {
+  return record.count(key) ? require_number(record, key, source, line)
+                           : fallback;
+}
+
+std::uint64_t require_count(const Record& record, const std::string& key,
+                            std::string_view source, std::size_t line) {
+  const double value = require_number(record, key, source, line);
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<std::uint64_t>(value))) {
+    fail(source, line,
+         "field \"" + key + "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+trace::RankState state_from_name(const std::string& name,
+                                 std::string_view source, std::size_t line) {
+  using trace::RankState;
+  for (const RankState state :
+       {RankState::kInit, RankState::kCompute, RankState::kComm,
+        RankState::kStat, RankState::kPreempted}) {
+    if (name == trace::to_string(state)) return state;
+  }
+  fail(source, line, "unknown interval state '" + name + "'");
+}
+
+/// JSON number that round-trips a double exactly (17 significant digits).
+std::string json_num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_prefix(std::ostream& os, const char* type) {
+  os << "{\"schema\":\"" << kTraceReplaySchema << "\",\"type\":\"" << type
+     << "\"";
+}
+
+}  // namespace
+
+mpisim::Application parse_trace(std::istream& in, std::string_view source) {
+  mpisim::Application app;
+  bool have_meta = false;
+  std::string line_text;
+  std::size_t line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    if (line_text.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!line_text.empty() && line_text.back() == '\r') line_text.pop_back();
+    const Record record = parse_flat_object(line_text, source, line);
+    const std::string schema = require_string(record, "schema", source, line);
+    if (schema != kTraceReplaySchema) {
+      fail(source, line,
+           "unsupported schema '" + schema + "' (expected '" +
+               std::string(kTraceReplaySchema) + "')");
+    }
+    const std::string type = require_string(record, "type", source, line);
+    if (type == "meta") {
+      if (have_meta) fail(source, line, "duplicate meta record");
+      const std::uint64_t ranks = require_count(record, "ranks", source, line);
+      if (ranks == 0) fail(source, line, "meta.ranks must be >= 1");
+      app.ranks.resize(ranks);
+      if (record.count("name")) {
+        app.name = require_string(record, "name", source, line);
+      }
+      have_meta = true;
+      continue;
+    }
+    if (type != "interval") {
+      fail(source, line, "unknown record type '" + type + "'");
+    }
+    if (!have_meta) {
+      fail(source, line, "interval record before the meta record");
+    }
+    const std::uint64_t rank = require_count(record, "rank", source, line);
+    if (rank >= app.ranks.size()) {
+      fail(source, line,
+           "rank " + std::to_string(rank) + " out of range [0, " +
+               std::to_string(app.ranks.size()) + ")");
+    }
+    mpisim::RankProgram& program = app.ranks[rank];
+    const std::string kind = require_string(record, "kind", source, line);
+    if (kind == "compute") {
+      const std::string kernel_name =
+          require_string(record, "kernel", source, line);
+      const auto& registry = isa::KernelRegistry::instance();
+      if (!registry.contains(kernel_name)) {
+        fail(source, line, "unknown kernel '" + kernel_name + "'");
+      }
+      const double instructions =
+          require_number(record, "instructions", source, line);
+      if (!(instructions > 0.0)) {
+        fail(source, line, "compute.instructions must be > 0");
+      }
+      trace::RankState traced_as = trace::RankState::kCompute;
+      if (record.count("state")) {
+        traced_as = state_from_name(
+            require_string(record, "state", source, line), source, line);
+      }
+      program.compute(registry.by_name(kernel_name).id, instructions,
+                      traced_as);
+    } else if (kind == "delay") {
+      const double duration = require_number(record, "duration", source, line);
+      if (duration < 0.0) fail(source, line, "delay.duration must be >= 0");
+      trace::RankState traced_as = trace::RankState::kStat;
+      if (record.count("state")) {
+        traced_as = state_from_name(
+            require_string(record, "state", source, line), source, line);
+      }
+      program.delay(duration, traced_as);
+    } else if (kind == "barrier") {
+      program.barrier();
+    } else if (kind == "allreduce") {
+      program.allreduce(record.count("bytes")
+                            ? require_count(record, "bytes", source, line)
+                            : 8);
+    } else if (kind == "send" || kind == "recv") {
+      const std::uint64_t peer = require_count(record, "peer", source, line);
+      if (peer >= app.ranks.size()) {
+        fail(source, line,
+             kind + ".peer " + std::to_string(peer) + " out of range [0, " +
+                 std::to_string(app.ranks.size()) + ")");
+      }
+      const std::uint64_t bytes = require_count(record, "bytes", source, line);
+      const double tag = optional_number(record, "tag", 0.0, source, line);
+      if (tag != static_cast<double>(static_cast<int>(tag))) {
+        fail(source, line, kind + ".tag must be an integer");
+      }
+      const auto peer_id = RankId{static_cast<std::uint32_t>(peer)};
+      if (kind == "send") {
+        program.send(peer_id, bytes, static_cast<int>(tag));
+      } else {
+        program.recv(peer_id, bytes, static_cast<int>(tag));
+      }
+    } else if (kind == "waitall") {
+      program.wait_all();
+    } else {
+      fail(source, line, "unknown interval kind '" + kind + "'");
+    }
+  }
+  if (!have_meta) {
+    throw InvalidArgument(std::string(source) +
+                          ": empty trace (no meta record)");
+  }
+  try {
+    app.validate();
+  } catch (const std::exception& e) {
+    throw InvalidArgument(std::string(source) +
+                          ": trace compiles to an invalid application: " +
+                          e.what());
+  }
+  return app;
+}
+
+mpisim::Application parse_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  return parse_trace(in, path);
+}
+
+std::string emit_trace(const mpisim::Application& app) {
+  std::ostringstream os;
+  emit_prefix(os, "meta");
+  os << ",\"ranks\":" << app.ranks.size() << ",\"name\":\""
+     << json_escape(app.name) << "\"}\n";
+  const auto& registry = isa::KernelRegistry::instance();
+  for (std::size_t r = 0; r < app.ranks.size(); ++r) {
+    for (const mpisim::Phase& phase : app.ranks[r].phases) {
+      emit_prefix(os, "interval");
+      os << ",\"rank\":" << r << ",\"kind\":";
+      std::visit(
+          [&](const auto& p) {
+            using P = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<P, mpisim::ComputePhase>) {
+              os << "\"compute\",\"kernel\":\""
+                 << json_escape(registry.get(p.kernel).name())
+                 << "\",\"instructions\":" << json_num(p.instructions);
+              if (p.traced_as != trace::RankState::kCompute) {
+                os << ",\"state\":\"" << trace::to_string(p.traced_as) << "\"";
+              }
+            } else if constexpr (std::is_same_v<P, mpisim::DelayPhase>) {
+              os << "\"delay\",\"duration\":" << json_num(p.duration);
+              if (p.traced_as != trace::RankState::kStat) {
+                os << ",\"state\":\"" << trace::to_string(p.traced_as) << "\"";
+              }
+            } else if constexpr (std::is_same_v<P, mpisim::BarrierPhase>) {
+              os << "\"barrier\"";
+            } else if constexpr (std::is_same_v<P, mpisim::AllreducePhase>) {
+              os << "\"allreduce\",\"bytes\":" << p.bytes;
+            } else if constexpr (std::is_same_v<P, mpisim::SendPhase>) {
+              os << "\"send\",\"peer\":" << p.peer.value()
+                 << ",\"bytes\":" << p.bytes << ",\"tag\":" << p.tag;
+            } else if constexpr (std::is_same_v<P, mpisim::RecvPhase>) {
+              os << "\"recv\",\"peer\":" << p.peer.value()
+                 << ",\"bytes\":" << p.bytes << ",\"tag\":" << p.tag;
+            } else {
+              static_assert(std::is_same_v<P, mpisim::WaitAllPhase>);
+              os << "\"waitall\"";
+            }
+          },
+          phase);
+      os << "}\n";
+    }
+  }
+  return os.str();
+}
+
+std::string emit_trace(const trace::Tracer& tracer, std::string_view name) {
+  std::ostringstream os;
+  emit_prefix(os, "meta");
+  os << ",\"ranks\":" << tracer.num_ranks() << ",\"name\":\""
+     << json_escape(name) << "\"}\n";
+  for (std::size_t r = 0; r < tracer.num_ranks(); ++r) {
+    const auto rank = RankId{static_cast<std::uint32_t>(r)};
+    for (const trace::Interval& interval : tracer.timeline(rank)) {
+      const double duration = interval.end - interval.begin;
+      if (duration <= 0.0) continue;
+      switch (interval.state) {
+        case trace::RankState::kCompute:
+        case trace::RankState::kComm:
+        case trace::RankState::kStat:
+        case trace::RankState::kPreempted:
+          break;
+        default:
+          continue;  // waiting/idle is re-derived by the replay
+      }
+      emit_prefix(os, "interval");
+      os << ",\"rank\":" << r << ",\"kind\":\"delay\",\"duration\":"
+         << json_num(duration) << ",\"state\":\""
+         << trace::to_string(interval.state) << "\"}\n";
+    }
+    emit_prefix(os, "interval");
+    os << ",\"rank\":" << r << ",\"kind\":\"barrier\"}\n";
+  }
+  return os.str();
+}
+
+}  // namespace smtbal::workloads

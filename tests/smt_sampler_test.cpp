@@ -423,5 +423,65 @@ TEST(SampleCache, StrictModeFailsLoudlyOnDivergence) {
   EXPECT_EQ(cache.stats().divergent, 1u);
 }
 
+// --- shape seeding ----------------------------------------------------------
+
+TEST(ChipShapeSeed, FoldsCoresWidthAndFrequency) {
+  const ChipConfig base;
+  ChipConfig more_cores = base;
+  more_cores.num_cores = 4;
+  more_cores.memory.num_cores = 4;
+  ChipConfig wider = base;
+  wider.core.threads_per_core = 4;
+  ChipConfig faster = base;
+  faster.frequency_ghz = 2.0;
+
+  EXPECT_EQ(chip_shape_seed(base), chip_shape_seed(ChipConfig{}));
+  EXPECT_NE(chip_shape_seed(base), chip_shape_seed(more_cores));
+  EXPECT_NE(chip_shape_seed(base), chip_shape_seed(wider));
+  EXPECT_NE(chip_shape_seed(base), chip_shape_seed(faster));
+  EXPECT_NE(chip_shape_seed(more_cores), chip_shape_seed(wider));
+}
+
+TEST(ChipLoad, DefaultShapeSeedPreservesHistoricalKeys) {
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  EXPECT_EQ(load.key(), load.key(0));
+  // A non-zero shape seed re-keys the same load.
+  EXPECT_NE(load.key(), load.key(chip_shape_seed(ChipConfig{})));
+}
+
+TEST(Sampler, ShapeSeedMatchesItsChip) {
+  ChipConfig wide;
+  wide.core.threads_per_core = 4;
+  const ThroughputSampler narrow(ChipConfig{}, fast_options());
+  const ThroughputSampler smt4(wide, fast_options());
+  EXPECT_EQ(narrow.shape_seed(), chip_shape_seed(ChipConfig{}));
+  EXPECT_EQ(smt4.shape_seed(), chip_shape_seed(wide));
+  EXPECT_NE(narrow.shape_seed(), smt4.shape_seed());
+}
+
+TEST(Sampler, SharedCacheAcrossShapesNeverServesCrossChipHits) {
+  // One cache under two differently shaped chips — the heterogeneous
+  // cluster arrangement. The same ChipLoad keys differently per shape,
+  // so the second sampler must measure for itself, not inherit the first
+  // chip's rates.
+  const auto cache = std::make_shared<SampleCache>();
+  ChipConfig wide;
+  wide.core.threads_per_core = 4;
+  ThroughputSampler s1(ChipConfig{}, fast_options());
+  ThroughputSampler s2(wide, fast_options());
+  s1.attach_shared_cache(cache);
+  s2.attach_shared_cache(cache);
+
+  ChipLoad load;
+  load.contexts[0] = ContextLoad{kid(isa::kKernelHpcMixed), HwPriority::kMedium};
+  (void)s1.sample(load);
+  EXPECT_EQ(s1.stats().misses, 1u);
+  (void)s2.sample(load);
+  EXPECT_EQ(s2.stats().misses, 1u) << "cross-shape lookup must not hit";
+  EXPECT_EQ(s2.stats().shared_hits, 0u);
+  EXPECT_EQ(cache->stats().inserts, 2u);
+}
+
 }  // namespace
 }  // namespace smtbal::smt

@@ -5,9 +5,12 @@
 #include "common/error.hpp"
 #include "workloads/btmz.hpp"
 #include "workloads/cases.hpp"
+#include "workloads/drift.hpp"
 #include "workloads/fig1.hpp"
+#include "workloads/master_worker.hpp"
 #include "workloads/metbench.hpp"
 #include "workloads/siesta.hpp"
+#include "workloads/stencil.hpp"
 
 namespace smtbal::workloads {
 namespace {
@@ -274,6 +277,139 @@ TEST(Cases, AllPrioritiesInOsSettableRange) {
       }
     }
   }
+}
+
+// --- Stencil ----------------------------------------------------------------
+
+TEST(Stencil, DefaultConfigBuildsValidApp) {
+  const auto app = build_stencil(StencilConfig{});
+  EXPECT_EQ(app.size(), 8u);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(Stencil, InteriorRanksExchangeTwoHalosPerIteration) {
+  StencilConfig config;
+  config.num_ranks = 4;
+  config.iterations = 2;
+  const auto app = build_stencil(config);
+  // Interior: compute + 2 sends + 2 recvs + waitall = 6 phases/iter;
+  // open boundaries have one neighbour: 4 phases/iter.
+  EXPECT_EQ(app.ranks[0].phases.size(), 2u * 4u);
+  EXPECT_EQ(app.ranks[1].phases.size(), 2u * 6u);
+  EXPECT_EQ(app.ranks[2].phases.size(), 2u * 6u);
+  EXPECT_EQ(app.ranks[3].phases.size(), 2u * 4u);
+
+  config.periodic = true;
+  const auto ring = build_stencil(config);
+  EXPECT_NO_THROW(ring.validate());
+  for (const auto& rank : ring.ranks) {
+    EXPECT_EQ(rank.phases.size(), 2u * 6u);  // everyone is interior
+  }
+}
+
+TEST(Stencil, LoadBumpPeaksMidDomain) {
+  StencilConfig config;
+  config.num_ranks = 7;  // odd: the centre falls exactly on rank 3
+  config.base_instructions = 1000.0;
+  config.peak_factor = 2.0;
+  EXPECT_DOUBLE_EQ(config.load_of(3), 2000.0);
+  EXPECT_GT(config.load_of(3), config.load_of(1));
+  EXPECT_GT(config.load_of(3), config.load_of(5));
+  // Symmetric falloff around the centre.
+  EXPECT_DOUBLE_EQ(config.load_of(1), config.load_of(5));
+}
+
+TEST(Stencil, RejectsBadConfig) {
+  StencilConfig config;
+  config.num_ranks = 1;
+  EXPECT_THROW(build_stencil(config), InvalidArgument);
+  config = {};
+  config.peak_factor = 0.5;
+  EXPECT_THROW(build_stencil(config), InvalidArgument);
+}
+
+// --- MasterWorker -----------------------------------------------------------
+
+TEST(MasterWorker, DefaultConfigBuildsValidApp) {
+  const auto app = build_master_worker(MasterWorkerConfig{});
+  EXPECT_EQ(app.size(), 5u);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(MasterWorker, StragglerRotatesAcrossRounds) {
+  MasterWorkerConfig config;
+  config.num_ranks = 4;  // 3 workers
+  config.straggler_period = 1;
+  for (int round = 0; round < 6; ++round) {
+    int stragglers = 0;
+    for (std::size_t w = 0; w < 3; ++w) {
+      if (config.is_straggler(w, round)) {
+        ++stragglers;
+        EXPECT_EQ(w, static_cast<std::size_t>(round) % 3) << "round " << round;
+      }
+    }
+    EXPECT_EQ(stragglers, 1) << "round " << round;
+  }
+  config.straggler_period = 0;  // disabled: nobody straggles
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_FALSE(config.is_straggler(w, 0));
+  }
+}
+
+TEST(MasterWorker, RejectsBadConfig) {
+  MasterWorkerConfig config;
+  config.num_ranks = 1;  // no workers
+  EXPECT_THROW(build_master_worker(config), InvalidArgument);
+  config = {};
+  config.straggler_factor = 0.5;
+  EXPECT_THROW(build_master_worker(config), InvalidArgument);
+}
+
+// --- Drift ------------------------------------------------------------------
+
+TEST(Drift, DefaultConfigBuildsValidApp) {
+  const auto app = build_drift(DriftConfig{});
+  EXPECT_EQ(app.size(), 8u);
+  EXPECT_NO_THROW(app.validate());
+}
+
+TEST(Drift, FrontMovesAcrossRanksOverTime) {
+  DriftConfig config;
+  config.num_ranks = 8;
+  config.base_instructions = 1000.0;
+  config.peak_factor = 3.0;
+  config.front_width = 1.5;
+  config.drift_speed = 1.0;
+  // At iteration i the front centres on rank i: that rank is at peak.
+  EXPECT_DOUBLE_EQ(config.load_of(0, 0), 3000.0);
+  EXPECT_DOUBLE_EQ(config.load_of(4, 4), 3000.0);
+  // The iteration-0 peak rank cools off once the front has moved on.
+  EXPECT_DOUBLE_EQ(config.load_of(0, 4), 1000.0);
+  // The domain is circular: the front wraps past the last rank.
+  EXPECT_DOUBLE_EQ(config.load_of(0, 8), 3000.0);
+  // Zero speed degenerates to a static bump.
+  config.drift_speed = 0.0;
+  EXPECT_DOUBLE_EQ(config.load_of(0, 0), config.load_of(0, 7));
+}
+
+TEST(Drift, StatPhaseAppearsWhenConfigured) {
+  DriftConfig config;
+  config.num_ranks = 2;
+  config.iterations = 3;
+  const auto plain = build_drift(config);
+  EXPECT_EQ(plain.ranks[0].phases.size(), 3u * 2u);  // compute + barrier
+  config.stat_duration = 1e-4;
+  const auto with_stat = build_drift(config);
+  EXPECT_EQ(with_stat.ranks[0].phases.size(), 3u * 3u);
+}
+
+TEST(Drift, RejectsBadConfig) {
+  DriftConfig config;
+  config.front_width = 0.0;
+  EXPECT_THROW(build_drift(config), InvalidArgument);
+  config = {};
+  config.drift_speed = -1.0;
+  EXPECT_THROW(build_drift(config), InvalidArgument);
 }
 
 }  // namespace

@@ -14,8 +14,11 @@
 //
 //   $ ./tournament [--smoke] [--jobs N] [--json FILE]
 //                  [--policies a,b,c] [--seed-base N] [--list-policies]
+//                  [--list-scenarios]
 //
 //   --smoke          small corpus / short runs (the CI lane)
+//   --list-scenarios print the corpus scenario names (honours --smoke /
+//                    --seed-base) and exit
 //   --policies LIST  comma-separated entrant specs (default: "none" plus
 //                    every registered policy with default config);
 //                    unknown names fail with a did-you-mean suggestion
@@ -42,9 +45,12 @@
 #include "simcheck/scenario.hpp"
 #include "workloads/btmz.hpp"
 #include "workloads/cases.hpp"
+#include "workloads/drift.hpp"
 #include "workloads/fig1.hpp"
+#include "workloads/master_worker.hpp"
 #include "workloads/metbench.hpp"
 #include "workloads/siesta.hpp"
+#include "workloads/stencil.hpp"
 
 using namespace smtbal;
 
@@ -123,6 +129,72 @@ std::vector<std::shared_ptr<ScenarioData>> build_corpus(bool smoke,
     data.cluster_config = scenario.cluster_config;
     add(std::move(data));
     ++found;
+  }
+
+  // Scenario-diversity families: a static mid-domain load bump (the case
+  // where priorities fixed at start *can* win), a rotating straggler, and
+  // an AMR-style drifting front (the cases where they cannot). All flat,
+  // 8 ranks on a 4-core SMT2 chip.
+  auto flat8 = [](ScenarioData data) {
+    data.config.chip.num_cores = 4;
+    data.config.chip.memory.num_cores = 4;
+    return data;
+  };
+  if (!smoke) {
+    workloads::StencilConfig stencil;
+    stencil.num_ranks = 8;
+    add(flat8({"workload/stencil", workloads::build_stencil(stencil),
+               mpisim::Placement::identity(8)}));
+    workloads::MasterWorkerConfig straggler;
+    straggler.num_ranks = 8;
+    add(flat8({"workload/straggler", workloads::build_master_worker(straggler),
+               mpisim::Placement::identity(8)}));
+  }
+  {
+    workloads::DriftConfig drift;
+    drift.num_ranks = 8;
+    if (smoke) drift.iterations = 6;
+    add(flat8({"workload/drift", workloads::build_drift(drift),
+               mpisim::Placement::identity(8)}));
+  }
+
+  // Heterogeneous clusters. mixed-width: a stencil spanning an SMT2 node
+  // and an SMT4 node, seated by capacity — per-node seat ranking is what
+  // discriminates shape-aware policies here. hetero-drift: the drifting
+  // front crossing a cluster whose second node is clocked 20% slower.
+  {
+    cluster::ClusterConfig config;
+    config.num_nodes = 2;
+    config.node_shapes = {{}, {.threads_per_core = 4}};
+    std::vector<std::uint32_t> contexts, tpc;
+    for (std::uint32_t node = 0; node < config.num_nodes; ++node) {
+      const smt::ChipConfig chip = config.node_chip(node);
+      contexts.push_back(chip.num_contexts());
+      tpc.push_back(chip.threads_per_core());
+    }
+    workloads::StencilConfig stencil;
+    stencil.num_ranks = 10;
+    if (smoke) stencil.iterations = 5;
+    ScenarioData data{"cluster/mixed-width", workloads::build_stencil(stencil),
+                      {}};
+    data.cluster_placement = cluster::ClusterPlacement::block_by_capacity(
+        stencil.num_ranks, contexts, tpc);
+    data.placement = data.cluster_placement->within;
+    data.cluster_config = config;
+    add(std::move(data));
+  }
+  if (!smoke) {
+    cluster::ClusterConfig config;
+    config.num_nodes = 2;
+    config.node_shapes = {{}, {.clock_scale = 0.8}};
+    workloads::DriftConfig drift;
+    drift.num_ranks = 8;
+    ScenarioData data{"cluster/hetero-drift", workloads::build_drift(drift),
+                      {}};
+    data.cluster_placement = cluster::ClusterPlacement::block(8, 2);
+    data.placement = data.cluster_placement->within;
+    data.cluster_config = config;
+    add(std::move(data));
   }
 
   // The cluster bench's node-skewed workload.
@@ -390,6 +462,7 @@ void list_policies() {
 int main(int argc, char** argv) try {
   const runner::CliOptions cli = runner::parse_cli(argc, argv);
   bool smoke = false;
+  bool list_scenarios = false;
   std::uint64_t seed_base = 4200;
   std::vector<std::string> entrants;
   for (std::size_t i = 0; i < cli.positional.size(); ++i) {
@@ -407,6 +480,8 @@ int main(int argc, char** argv) try {
     }
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--list-scenarios") {
+      list_scenarios = true;  // deferred: honours a later --smoke/--seed-base
     } else if (arg == "--policies" || arg.rfind("--policies=", 0) == 0) {
       std::istringstream list(value_of("--policies"));
       for (std::string item; std::getline(list, item, ',');) {
@@ -418,8 +493,15 @@ int main(int argc, char** argv) try {
     } else {
       throw InvalidArgument("unknown argument '" + arg +
                             "' (try --smoke, --policies, --seed-base, "
-                            "--list-policies, --jobs, --json)");
+                            "--list-policies, --list-scenarios, --jobs, "
+                            "--json)");
     }
+  }
+  if (list_scenarios) {
+    for (const auto& scenario : build_corpus(smoke, seed_base)) {
+      std::cout << scenario->name << '\n';
+    }
+    return 0;
   }
   return run_tournament(smoke, seed_base, std::move(entrants), cli);
 } catch (const std::exception& e) {
