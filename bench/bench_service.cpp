@@ -1,0 +1,268 @@
+// Evaluation-service bench: served-QPS vs cold-run QPS under a
+// Zipf-repeated request mix.
+//
+// Real evaluation traffic repeats itself — parameter sweeps revisit the
+// baseline, CI replays the same scenario set, interactive what-if queries
+// hammer a handful of configurations. This bench models that with a
+// Zipf-distributed mix over K distinct scenarios and measures what the
+// service layer buys over re-running every request through a plain
+// runner::BatchRunner:
+//
+//   cold-run       every request evaluated from scratch (BatchRunner,
+//                  no store, no request dedupe) — the scripting baseline
+//   cold service   EvalService with an empty store: wave dedupe and the
+//                  persistent sampler caches already collapse repeats
+//   warm service   a fresh EvalService reloading the journal the cold
+//                  pass wrote: every request is a store hit
+//
+// The gate: warm-service served QPS must be >= 5x cold-run QPS (the
+// smtbal.evalreq acceptance bar). The bench exits 1 when it is not.
+// Also reports a hit-rate table across Zipf exponents and demonstrates
+// the admission bound (bounded queue, reject-with-reason overflow).
+//
+//   $ ./bench_service [--smoke] [--jobs N] [--cache-capacity N]
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "runner/batch.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "simcheck/scenario.hpp"
+
+using namespace smtbal;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// K distinct scenario one-liners: same family of shapes, distinct seeds
+/// and block counts, so every scenario is a different canonical request.
+std::vector<std::string> distinct_scenarios(std::size_t count) {
+  std::vector<std::string> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scenarios.push_back("seed=" + std::to_string(1000 + 17 * i) +
+                        " ranks=6 cores=3 blocks=" + std::to_string(2 + i % 3) +
+                        " family=" + std::to_string(i % 4));
+  }
+  return scenarios;
+}
+
+/// A Zipf(s)-repeated mix of `length` requests over the scenario list:
+/// scenario rank r is drawn with probability proportional to 1/(r+1)^s.
+std::vector<service::EvalRequest> zipf_mix(
+    const std::vector<std::string>& scenarios, std::size_t length, double s,
+    std::uint64_t seed) {
+  std::vector<double> cumulative(scenarios.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < scenarios.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cumulative[r] = total;
+  }
+  Rng rng(seed);
+  std::vector<service::EvalRequest> mix;
+  mix.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double u = rng.uniform() * total;
+    std::size_t pick = 0;
+    while (pick + 1 < cumulative.size() && cumulative[pick] < u) ++pick;
+    service::EvalRequest request;
+    request.id = "r";
+    request.id += std::to_string(i);
+    request.scenario = scenarios[pick];
+    mix.push_back(std::move(request));
+  }
+  return mix;
+}
+
+/// The scripting baseline: every request becomes its own BatchRunner spec
+/// (policy "none", no store, no dedupe), mirroring what EvalService
+/// evaluates for a miss.
+double time_cold_run(const std::vector<service::EvalRequest>& mix,
+                     const runner::CliOptions& cli) {
+  std::vector<runner::RunSpec> specs;
+  specs.reserve(mix.size());
+  for (const service::EvalRequest& request : mix) {
+    const simcheck::Scenario scenario = simcheck::build_scenario(
+        simcheck::parse_spec_string(request.scenario));
+    runner::RunSpec spec;
+    spec.label = request.id;
+    spec.app = scenario.app;
+    spec.placement = scenario.placement;
+    spec.config = scenario.config;
+    if (scenario.cluster_config.num_nodes > 1) {
+      spec.cluster_placement = scenario.cluster_placement;
+      spec.cluster_config = scenario.cluster_config;
+    }
+    specs.push_back(std::move(spec));
+  }
+  const runner::BatchRunner batch_runner(runner::BatchOptions{
+      .jobs = cli.jobs, .cache_capacity = cli.cache_capacity});
+  const auto start = Clock::now();
+  const runner::BatchResult batch = batch_runner.run(specs);
+  const double elapsed = seconds_since(start);
+  SMTBAL_REQUIRE(batch.failures == 0, "cold-run baseline had failed runs");
+  return elapsed;
+}
+
+struct ServedPass {
+  double elapsed = 0.0;
+  service::ServiceStats stats;
+};
+
+/// One full mix through a fresh EvalService (submit everything, graceful
+/// drain). All responses must be ok.
+ServedPass time_served(const std::vector<service::EvalRequest>& mix,
+                       const service::ServiceConfig& config) {
+  ServedPass pass;
+  const auto start = Clock::now();
+  service::EvalService daemon(config);
+  std::vector<std::future<service::EvalResponse>> futures;
+  futures.reserve(mix.size());
+  for (const service::EvalRequest& request : mix) {
+    futures.push_back(daemon.submit(request));
+  }
+  daemon.shutdown();
+  pass.elapsed = seconds_since(start);
+  for (auto& future : futures) {
+    const service::EvalResponse response = future.get();
+    SMTBAL_REQUIRE(response.status == service::Status::kOk,
+                   "service pass failed: " + response.error);
+  }
+  pass.stats = daemon.stats();
+  return pass;
+}
+
+void admission_demo(const std::vector<service::EvalRequest>& mix,
+                    service::ServiceConfig config) {
+  config.max_queue = 8;
+  service::EvalService daemon(config);
+  daemon.pause();  // hold the dispatcher so the flood hits the bound
+  std::vector<std::future<service::EvalResponse>> futures;
+  for (const service::EvalRequest& request : mix) {
+    futures.push_back(daemon.submit(request));
+  }
+  daemon.resume();
+  daemon.shutdown();
+  std::size_t admitted = 0, rejected = 0;
+  for (auto& future : futures) {
+    const service::EvalResponse response = future.get();
+    if (response.status == service::Status::kRejected) {
+      ++rejected;
+    } else {
+      ++admitted;
+    }
+  }
+  std::printf(
+      "Admission bound: max_queue=%zu, flood of %zu -> %zu admitted, "
+      "%zu rejected with a reason (queue memory stays bounded)\n",
+      config.max_queue, mix.size(), admitted, rejected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const runner::CliOptions cli = runner::parse_cli(argc, argv);
+  bool smoke = false;
+  for (const std::string& arg : cli.positional) {
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      throw InvalidArgument("unknown argument '" + arg +
+                            "' (try --smoke, --jobs, --cache-capacity)");
+    }
+  }
+
+  const std::size_t num_scenarios = smoke ? 4 : 10;
+  const std::size_t mix_length = smoke ? 32 : 160;
+  const double exponent = 1.1;
+  const std::vector<std::string> scenarios = distinct_scenarios(num_scenarios);
+  const std::vector<service::EvalRequest> mix =
+      zipf_mix(scenarios, mix_length, exponent, /*seed=*/99);
+
+  service::ServiceConfig config;
+  config.workers = cli.jobs;
+  config.cache_capacity = cli.cache_capacity;
+  // Admission must never trip in the QPS runs: bound above the mix with
+  // a minimal interactive reserve so the whole batch flood is admitted.
+  config.max_queue = mix_length + 2;
+  config.interactive_reserve = 1;
+
+  std::printf(
+      "Evaluation-service bench — %zu distinct scenarios, %zu requests, "
+      "Zipf(%.1f) mix%s\n\n",
+      num_scenarios, mix_length, exponent, smoke ? " (smoke)" : "");
+
+  const double cold_run = time_cold_run(mix, cli);
+  const double cold_qps = static_cast<double>(mix_length) / cold_run;
+  std::printf("  %-34s %8.3f s  %10.1f QPS\n",
+              "cold-run (BatchRunner, no store)", cold_run, cold_qps);
+
+  const std::filesystem::path journal =
+      std::filesystem::temp_directory_path() /
+      ("bench-service-" + std::to_string(::getpid()) + ".jsonl");
+  std::filesystem::remove(journal);
+  service::ServiceConfig stored = config;
+  stored.store_path = journal.string();
+
+  const ServedPass cold = time_served(mix, stored);
+  std::printf("  %-34s %8.3f s  %10.1f QPS  (evaluated %llu, deduped %llu)\n",
+              "cold service (empty store)", cold.elapsed,
+              static_cast<double>(mix_length) / cold.elapsed,
+              static_cast<unsigned long long>(cold.stats.evaluated),
+              static_cast<unsigned long long>(cold.stats.deduped));
+
+  const ServedPass warm = time_served(mix, stored);
+  std::filesystem::remove(journal);
+  const double warm_qps = static_cast<double>(mix_length) / warm.elapsed;
+  std::printf("  %-34s %8.3f s  %10.1f QPS  (store hit rate %.2f)\n",
+              "warm service (journal reloaded)", warm.elapsed, warm_qps,
+              warm.stats.store.hit_rate());
+  SMTBAL_REQUIRE(warm.stats.evaluated == 0,
+                 "warm pass ran the engine despite a full store");
+
+  std::printf("\nHit-rate vs request skew (fresh in-memory service per row):\n");
+  std::printf("  %6s %8s %8s %8s %10s %9s\n", "zipf", "hits", "misses",
+              "deduped", "evaluated", "hit_rate");
+  for (const double s : smoke ? std::vector<double>{0.0, 1.2}
+                              : std::vector<double>{0.0, 0.6, 1.2, 1.8}) {
+    const ServedPass pass = time_served(
+        zipf_mix(scenarios, mix_length, s, /*seed=*/99), config);
+    std::printf("  %6.1f %8llu %8llu %8llu %10llu %9.2f\n", s,
+                static_cast<unsigned long long>(pass.stats.store.hits),
+                static_cast<unsigned long long>(pass.stats.store.misses),
+                static_cast<unsigned long long>(pass.stats.deduped),
+                static_cast<unsigned long long>(pass.stats.evaluated),
+                pass.stats.store.hit_rate());
+  }
+  std::printf("\n");
+
+  admission_demo(mix, config);
+
+  const double speedup = warm_qps / cold_qps;
+  std::printf("\nserved/cold speedup: %.1fx (gate: >= 5x)\n", speedup);
+  if (speedup < 5.0) {
+    std::cerr << "bench_service: FAIL — warm-store served QPS is only "
+              << speedup << "x the cold-run QPS (need >= 5x)\n";
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_service: " << e.what() << '\n';
+  return 1;
+}

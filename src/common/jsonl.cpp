@@ -1,0 +1,173 @@
+#include "common/jsonl.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace smtbal::jsonl {
+
+void fail(std::string_view source, std::size_t line,
+          const std::string& message) {
+  std::ostringstream os;
+  os << source << ":" << line << ": " << message;
+  throw InvalidArgument(os.str());
+}
+
+Record parse_flat_object(const std::string& text, std::string_view source,
+                         std::size_t line) {
+  Record record;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  };
+  const auto expect = [&](char c, const std::string& what) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c) {
+      fail(source, line, "expected " + what);
+    }
+    ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    expect('"', "'\"'");
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      char c = text[i++];
+      if (c == '\\') {
+        if (i >= text.size()) fail(source, line, "unterminated escape");
+        const char esc = text[i++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            fail(source, line,
+                 std::string("unsupported escape '\\") + esc + "'");
+        }
+      }
+      out.push_back(c);
+    }
+    if (i >= text.size()) fail(source, line, "unterminated string");
+    ++i;  // closing quote
+    return out;
+  };
+
+  expect('{', "'{' (one JSON object per line)");
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      expect(':', "':' after key \"" + key + "\"");
+      skip_ws();
+      Field field;
+      if (i < text.size() && text[i] == '"') {
+        field.is_string = true;
+        field.text = parse_string();
+      } else {
+        const std::size_t start = i;
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               text[i] != ' ' && text[i] != '\t') {
+          ++i;
+        }
+        field.text = text.substr(start, i - start);
+        if (field.text.empty()) {
+          fail(source, line, "missing value for key \"" + key + "\"");
+        }
+      }
+      if (!record.emplace(key, std::move(field)).second) {
+        fail(source, line, "duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    expect('}', "',' or '}'");
+  }
+  skip_ws();
+  if (i != text.size()) {
+    fail(source, line, "trailing characters after the JSON object");
+  }
+  return record;
+}
+
+const Field& require_field(const Record& record, const std::string& key,
+                           std::string_view source, std::size_t line) {
+  const auto it = record.find(key);
+  if (it == record.end()) {
+    fail(source, line, "missing required field \"" + key + "\"");
+  }
+  return it->second;
+}
+
+std::string require_string(const Record& record, const std::string& key,
+                           std::string_view source, std::size_t line) {
+  const Field& field = require_field(record, key, source, line);
+  if (!field.is_string) {
+    fail(source, line, "field \"" + key + "\" must be a string");
+  }
+  return field.text;
+}
+
+double require_number(const Record& record, const std::string& key,
+                      std::string_view source, std::size_t line) {
+  const Field& field = require_field(record, key, source, line);
+  if (field.is_string) {
+    fail(source, line, "field \"" + key + "\" must be a number");
+  }
+  const char* begin = field.text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + field.text.size()) {
+    fail(source, line,
+         "field \"" + key + "\" is not a number: '" + field.text + "'");
+  }
+  return value;
+}
+
+double optional_number(const Record& record, const std::string& key,
+                       double fallback, std::string_view source,
+                       std::size_t line) {
+  return record.count(key) ? require_number(record, key, source, line)
+                           : fallback;
+}
+
+std::uint64_t require_count(const Record& record, const std::string& key,
+                            std::string_view source, std::size_t line) {
+  const double value = require_number(record, key, source, line);
+  if (value < 0.0 ||
+      value != static_cast<double>(static_cast<std::uint64_t>(value))) {
+    fail(source, line, "field \"" + key + "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string json_num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace smtbal::jsonl

@@ -158,6 +158,16 @@ void Registry::add(PolicyInfo info, Factory factory) {
 
 std::unique_ptr<mpisim::BalancePolicy> Registry::make(
     std::string_view spec, const PolicyContext& context) const {
+  // An empty spec is almost always a caller bug (an unset --policy
+  // variable, a blank config cell); falling through to the unknown-name
+  // path would "suggest" whichever registered name is shortest, which is
+  // worse than useless. Fail with the real diagnosis instead.
+  if (spec.empty()) {
+    throw InvalidArgument(
+        "empty policy spec — name a registered policy "
+        "(run with --list-policies), or use 'none' where the caller "
+        "supports an explicit no-policy baseline");
+  }
   auto [name, pairs] = parse_spec(spec);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {

@@ -87,7 +87,8 @@ class Registry {
   void add(PolicyInfo info, Factory factory);
 
   /// Builds a policy from `spec` (`name[:key=value,...]`). Throws
-  /// InvalidArgument on an unknown name (with a did-you-mean suggestion),
+  /// InvalidArgument on an empty spec (a value-bearing diagnosis, not a
+  /// silent fallback), an unknown name (with a did-you-mean suggestion),
   /// a malformed spec, or unknown/invalid keys.
   [[nodiscard]] std::unique_ptr<mpisim::BalancePolicy> make(
       std::string_view spec, const PolicyContext& context) const;

@@ -108,10 +108,15 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
       }
     }
     if (d == domains.size()) {
-      domains.push_back(SamplerDomain{
-          node_config.chip, node_config.sampler,
-          options_.share_sample_cache ? std::make_shared<smt::SampleCache>()
-                                      : nullptr});
+      std::shared_ptr<smt::SampleCache> cache;
+      if (options_.cache_provider) {
+        cache = options_.cache_provider(node_config.chip, node_config.sampler);
+      } else if (options_.share_sample_cache) {
+        cache = std::make_shared<smt::SampleCache>();
+        cache->set_capacity(options_.cache_capacity);
+      }
+      domains.push_back(
+          SamplerDomain{node_config.chip, node_config.sampler, std::move(cache)});
     }
     domain_of_spec[i] = d;
   }
@@ -197,9 +202,13 @@ std::vector<smt::SampleResult> BatchRunner::sample(
     const smt::ChipConfig& chip, const smt::ThroughputSampler::Options& options,
     const std::vector<smt::ChipLoad>& loads) const {
   const unsigned jobs = resolve_jobs(options_.jobs, loads.size());
-  const auto cache = options_.share_sample_cache
-                         ? std::make_shared<smt::SampleCache>()
-                         : nullptr;
+  std::shared_ptr<smt::SampleCache> cache;
+  if (options_.cache_provider) {
+    cache = options_.cache_provider(chip, options);
+  } else if (options_.share_sample_cache) {
+    cache = std::make_shared<smt::SampleCache>();
+    cache->set_capacity(options_.cache_capacity);
+  }
 
   std::vector<smt::SampleResult> results(loads.size());
   std::vector<std::unique_ptr<smt::ThroughputSampler>> samplers(jobs);
@@ -254,6 +263,19 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       cli.json_path = value_of(arg, "--json", i);
       SMTBAL_REQUIRE(!cli.json_path.empty(), "--json needs a file path");
+    } else if (arg == "--cache-capacity" ||
+               arg.rfind("--cache-capacity=", 0) == 0) {
+      const std::string value = value_of(arg, "--cache-capacity", i);
+      std::size_t capacity = 0;
+      const char* first = value.data();
+      const char* last = first + value.size();
+      const auto [ptr, ec] = std::from_chars(first, last, capacity);
+      if (ec != std::errc{} || ptr != last) {
+        throw InvalidArgument(
+            "--cache-capacity expects a non-negative integer, got '" + value +
+            "'");
+      }
+      cli.cache_capacity = capacity;
     } else {
       cli.positional.push_back(arg);
     }

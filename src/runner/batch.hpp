@@ -74,6 +74,20 @@ struct BatchOptions {
   /// domain through a mutex-guarded SampleCache. Purely a speed/memory
   /// optimisation — results are identical either way.
   bool share_sample_cache = true;
+  /// FIFO-eviction capacity applied to every SampleCache the runner
+  /// creates (smt::SampleCache::set_capacity); 0 = unbounded, the
+  /// historical behaviour. Results are identical either way — eviction
+  /// only re-measures — so this is a memory bound, not a semantic knob.
+  std::size_t cache_capacity = 0;
+  /// When set, the runner asks this provider for the shared cache of each
+  /// sampler domain instead of creating a fresh one per run() call.
+  /// Long-lived drivers (the evaluation service) use it to keep domain
+  /// caches warm across batches; the provider may return nullptr to
+  /// disable sharing for a domain. The provider must honour the
+  /// one-cache-per-domain invariant documented on smt::SampleCache.
+  std::function<std::shared_ptr<smt::SampleCache>(
+      const smt::ChipConfig&, const smt::ThroughputSampler::Options&)>
+      cache_provider{};
 };
 
 struct BatchResult {
@@ -120,11 +134,15 @@ class BatchRunner {
 struct CliOptions {
   unsigned jobs = 0;        ///< --jobs N (0 = all host cores)
   std::string json_path;    ///< --json FILE (empty = no JSON output)
+  /// --cache-capacity N: FIFO bound on every shared SampleCache
+  /// (BatchOptions::cache_capacity); 0 = unbounded.
+  std::size_t cache_capacity = 0;
   /// Positional arguments left after the flags, in order.
   std::vector<std::string> positional;
 };
 
-/// Parses `--jobs N` / `--jobs=N` and `--json FILE` / `--json=FILE`.
+/// Parses `--jobs N` / `--jobs=N`, `--json FILE` / `--json=FILE` and
+/// `--cache-capacity N` / `--cache-capacity=N`.
 /// Throws InvalidArgument on a malformed flag.
 [[nodiscard]] CliOptions parse_cli(int argc, char** argv);
 

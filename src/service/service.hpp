@@ -1,0 +1,175 @@
+// EvalService: the simulation-as-a-service daemon core.
+//
+// Callers submit declarative EvalRequests (request.hpp); the service
+// answers std::future<EvalResponse>s. Internally:
+//
+//   submit()   canonicalizes the request (scenario spec -> sanitized
+//              one-liner, trace -> its lossless emit_trace text) and
+//              derives the store key, then runs ADMISSION CONTROL on a
+//              bounded two-lane queue: the batch lane is capped below the
+//              total bound so interactive what-if queries always keep
+//              reserved headroom, and a full lane rejects immediately
+//              with a reason ("queue full...") instead of blocking or
+//              growing without bound. Rejection is a ready future, so
+//              submit() never blocks and memory stays bounded no matter
+//              how fast requests arrive.
+//   dispatcher a background thread drains the queue in waves (whole
+//              interactive lane first, then batch), resolves each job
+//              against the persistent ResultStore (store.hpp), dedupes
+//              identical requests within the wave, and evaluates the
+//              remaining misses through runner::BatchRunner sharded over
+//              `workers` threads. Freshly evaluated results are published
+//              back to the store, so repeat queries — across waves and
+//              across daemon restarts — are cache hits.
+//   shutdown() graceful drain: stop accepting, finish every admitted
+//              request, join the dispatcher. The destructor calls it.
+//
+// Determinism: response records are byte-identical for any worker count
+// and any wave partition. Evaluations run through BatchRunner (results
+// independent of --jobs), engine runs are pure functions of the canonical
+// request, and the store serves bit-exact round-tripped payloads — so
+// whether a request is evaluated, deduped, or served from the store
+// cannot show in its response record. Only the counters (ServiceStats,
+// the evalresp.batch trailer) are scheduling-dependent.
+//
+// Sampler sharing: the service keeps one smt::SampleCache per sampler
+// domain alive for its whole lifetime and hands it to every BatchRunner
+// wave through BatchOptions::cache_provider, so cycle-level measurements
+// stay warm across waves exactly as they do within one batch run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runner/batch.hpp"
+#include "service/request.hpp"
+#include "service/store.hpp"
+#include "smt/sampler.hpp"
+
+namespace smtbal::service {
+
+inline constexpr std::string_view kServiceTrailerSchema =
+    "smtbal.evalresp.batch/1";
+
+struct ServiceConfig {
+  /// Worker threads per evaluation wave; 0 = all host cores.
+  unsigned workers = 0;
+  /// Total queued-request bound across both lanes. Admission control
+  /// rejects above it; it never blocks and never grows the queue.
+  std::size_t max_queue = 1024;
+  /// Slots of `max_queue` reserved for the interactive lane: batch
+  /// requests are rejected once max_queue - interactive_reserve of them
+  /// are pending, so a bulk feed cannot starve small what-if queries.
+  /// Clamped to max_queue - 1; default 1/8 of the bound (at least 1).
+  std::size_t interactive_reserve = 0;  ///< 0 = max(1, max_queue / 8)
+  /// FIFO bound per sampler-domain SampleCache; 0 = unbounded.
+  std::size_t cache_capacity = 0;
+  /// Path of the persistent result-store journal; empty = in-memory only.
+  std::string store_path;
+};
+
+/// Scheduling-dependent service counters (trailer material — report,
+/// never diff).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;    ///< admission-control rejections
+  std::uint64_t failed = 0;      ///< canonicalization or run errors
+  std::uint64_t served = 0;      ///< ok responses (store hits + evaluated)
+  std::uint64_t evaluated = 0;   ///< engine runs actually executed
+  std::uint64_t deduped = 0;     ///< wave-local duplicates folded away
+  std::uint64_t waves = 0;       ///< dispatcher drain cycles
+  ResultStore::Stats store;
+  smt::SamplerStats sampler;     ///< summed over every wave's workers
+  smt::SampleCacheStats cache;   ///< summed over the persistent domain caches
+};
+
+class EvalService {
+ public:
+  explicit EvalService(ServiceConfig config);
+  ~EvalService();  ///< graceful drain (shutdown())
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Canonicalizes, admits and enqueues one request; never blocks. The
+  /// returned future is fulfilled by the dispatcher — immediately (ready)
+  /// for admission rejections and canonicalization errors. Throws
+  /// InvalidArgument only if the service is already shut down.
+  [[nodiscard]] std::future<EvalResponse> submit(EvalRequest request);
+
+  /// Stops admitting, drains every queued request, joins the dispatcher.
+  /// Idempotent.
+  void shutdown();
+
+  /// Suspends / resumes wave dispatch (admission keeps running). Lets
+  /// operators — and the admission-control tests — fill the queue
+  /// deterministically while the dispatcher holds still.
+  void pause();
+  void resume();
+
+  /// Blocks until the queue is empty and no wave is in flight. The
+  /// service keeps accepting; use shutdown() for a terminal drain.
+  void wait_idle();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// One-line smtbal.evalresp.batch/1 trailer over the current stats()
+  /// (no trailing newline). Scheduling-dependent — the one line response
+  /// diffs must drop.
+  [[nodiscard]] std::string trailer() const;
+
+ private:
+  struct Job {
+    std::string id;
+    std::string canonical;
+    std::uint64_t key = 0;
+    StatSelection stats;
+    runner::RunSpec spec;
+    std::promise<EvalResponse> promise;
+  };
+
+  /// Builds the runnable spec + canonical text for a request. Throws
+  /// InvalidArgument on a malformed scenario/trace/policy.
+  [[nodiscard]] Job prepare(EvalRequest request) const;
+
+  void dispatcher_loop();
+  void process_wave(std::vector<Job> wave);
+  [[nodiscard]] std::shared_ptr<smt::SampleCache> domain_cache(
+      const smt::ChipConfig& chip,
+      const smt::ThroughputSampler::Options& options);
+
+  ServiceConfig config_;
+  std::shared_ptr<ResultStore> store_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;       ///< dispatcher wake-ups
+  std::condition_variable idle_wake_;  ///< wait_idle waiters
+  std::deque<Job> interactive_;
+  std::deque<Job> batch_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  bool wave_in_flight_ = false;
+  ServiceStats stats_;
+
+  /// Persistent per-domain sampler caches (see file comment).
+  struct Domain {
+    smt::ChipConfig chip;
+    smt::ThroughputSampler::Options options;
+    std::shared_ptr<smt::SampleCache> cache;
+  };
+  mutable std::mutex domains_mutex_;
+  std::vector<Domain> domains_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace smtbal::service

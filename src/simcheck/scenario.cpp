@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "isa/kernel.hpp"
 #include "workloads/drift.hpp"
@@ -106,6 +107,112 @@ std::string to_string(const ScenarioSpec& spec) {
      << " cyclic=" << (spec.cyclic_placement ? 1 : 0)
      << " family=" << spec.family << " hetero=" << (spec.hetero ? 1 : 0);
   return os.str();
+}
+
+namespace {
+
+std::uint64_t parse_spec_number(std::string_view token, std::string_view value,
+                                std::uint64_t max) {
+  std::uint64_t out = 0;
+  if (value.empty()) {
+    throw InvalidArgument("scenario spec token '" + std::string(token) +
+                          "': empty value");
+  }
+  for (const char c : value) {
+    if (c < '0' || c > '9' || out > max / 10) {
+      throw InvalidArgument("scenario spec token '" + std::string(token) +
+                            "': expected an unsigned integer <= " +
+                            std::to_string(max));
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    if (out > max) {
+      throw InvalidArgument("scenario spec token '" + std::string(token) +
+                            "': expected an unsigned integer <= " +
+                            std::to_string(max));
+    }
+  }
+  return out;
+}
+
+bool parse_spec_flag(std::string_view token, std::string_view value) {
+  if (value == "1") return true;
+  if (value == "0") return false;
+  throw InvalidArgument("scenario spec token '" + std::string(token) +
+                        "': expected 0 or 1");
+}
+
+}  // namespace
+
+ScenarioSpec parse_spec_string(std::string_view text) {
+  ScenarioSpec spec;
+  constexpr std::uint64_t kU32Max = 0xffff'ffffULL;
+  constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    const std::size_t end = std::min(text.find(' ', pos), text.size());
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw InvalidArgument("scenario spec token '" + std::string(token) +
+                            "': expected key=value");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = parse_spec_number(token, value, kU64Max);
+    } else if (key == "ranks") {
+      spec.num_ranks =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "nodes") {
+      spec.num_nodes =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "cores") {
+      spec.num_cores =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "smt") {
+      spec.threads_per_core =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "blocks") {
+      spec.blocks =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "flavor") {
+      if (value == "vanilla") {
+        spec.vanilla = true;
+      } else if (value == "patched") {
+        spec.vanilla = false;
+      } else {
+        throw InvalidArgument("scenario spec token '" + std::string(token) +
+                              "': expected flavor=patched or flavor=vanilla");
+      }
+    } else if (key == "noise") {
+      spec.with_noise = parse_spec_flag(token, value);
+    } else if (key == "prios") {
+      spec.with_priorities = parse_spec_flag(token, value);
+    } else if (key == "cyclic") {
+      spec.cyclic_placement = parse_spec_flag(token, value);
+    } else if (key == "family") {
+      spec.family =
+          static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
+    } else if (key == "hetero") {
+      spec.hetero = parse_spec_flag(token, value);
+    } else {
+      throw InvalidArgument(
+          "scenario spec token '" + std::string(token) + "': unknown key '" +
+          std::string(key) +
+          "' (known: seed ranks nodes cores smt blocks flavor noise prios "
+          "cyclic family hetero)");
+    }
+  }
+  return spec;
+}
+
+std::string canonical_spec_string(const ScenarioSpec& spec) {
+  return to_string(sanitize_spec(spec));
 }
 
 ScenarioSpec random_spec(std::uint64_t seed) {

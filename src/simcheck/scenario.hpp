@@ -59,6 +59,19 @@ struct ScenarioSpec {
 ///  noise=0 prios=1 cyclic=0".
 [[nodiscard]] std::string to_string(const ScenarioSpec& spec);
 
+/// Parses the to_string() format back into a spec. Keys may appear in any
+/// order and may be omitted (missing keys keep the ScenarioSpec default),
+/// so "seed=42 ranks=6" is a complete declarative request. Unknown keys,
+/// malformed tokens and bad values throw InvalidArgument naming the
+/// offending token; parse_spec_string(to_string(s)) == s for every spec.
+[[nodiscard]] ScenarioSpec parse_spec_string(std::string_view text);
+
+/// The canonical one-line form of a spec: to_string(sanitize_spec(spec)).
+/// Two textually different spec strings that sanitize to the same shape
+/// canonicalize identically — the evaluation service keys its result
+/// store on this string (hashed with the ChipLoad::key() chain mix).
+[[nodiscard]] std::string canonical_spec_string(const ScenarioSpec& spec);
+
 /// Clamps shape fields into the ranges build_scenario() honours (SMT
 /// width to {2,4}, ranks to the seat count, ...). build_scenario applies
 /// this itself; the shrinker also calls it so the spec it *reports* is

@@ -1,172 +1,27 @@
 #include "workloads/trace_replay.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <variant>
 
 #include "common/error.hpp"
+#include "common/jsonl.hpp"
 #include "isa/kernel.hpp"
 
 namespace smtbal::workloads {
 
 namespace {
 
-/// One parsed JSON value: the raw text plus whether it was quoted.
-struct Field {
-  bool is_string = false;
-  std::string text;
-};
-
-using Record = std::map<std::string, Field>;
-
-[[noreturn]] void fail(std::string_view source, std::size_t line,
-                       const std::string& message) {
-  std::ostringstream os;
-  os << source << ":" << line << ": " << message;
-  throw InvalidArgument(os.str());
-}
-
-/// Parses one flat JSON object — string keys, string/number values, no
-/// nesting. Strict enough that every malformed line carries a usable
-/// message; escapes \" \\ \/ \n \t are honoured in strings.
-Record parse_flat_object(const std::string& text, std::string_view source,
-                         std::size_t line) {
-  Record record;
-  std::size_t i = 0;
-  const auto skip_ws = [&] {
-    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-  };
-  const auto expect = [&](char c, const std::string& what) {
-    skip_ws();
-    if (i >= text.size() || text[i] != c) {
-      fail(source, line, "expected " + what);
-    }
-    ++i;
-  };
-  const auto parse_string = [&]() -> std::string {
-    expect('"', "'\"'");
-    std::string out;
-    while (i < text.size() && text[i] != '"') {
-      char c = text[i++];
-      if (c == '\\') {
-        if (i >= text.size()) fail(source, line, "unterminated escape");
-        const char esc = text[i++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          default:
-            fail(source, line,
-                 std::string("unsupported escape '\\") + esc + "'");
-        }
-      }
-      out.push_back(c);
-    }
-    if (i >= text.size()) fail(source, line, "unterminated string");
-    ++i;  // closing quote
-    return out;
-  };
-
-  expect('{', "'{' (one JSON object per line)");
-  skip_ws();
-  if (i < text.size() && text[i] == '}') {
-    ++i;
-  } else {
-    for (;;) {
-      skip_ws();
-      const std::string key = parse_string();
-      expect(':', "':' after key \"" + key + "\"");
-      skip_ws();
-      Field field;
-      if (i < text.size() && text[i] == '"') {
-        field.is_string = true;
-        field.text = parse_string();
-      } else {
-        const std::size_t start = i;
-        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
-               text[i] != ' ' && text[i] != '\t') {
-          ++i;
-        }
-        field.text = text.substr(start, i - start);
-        if (field.text.empty()) {
-          fail(source, line, "missing value for key \"" + key + "\"");
-        }
-      }
-      if (!record.emplace(key, std::move(field)).second) {
-        fail(source, line, "duplicate key \"" + key + "\"");
-      }
-      skip_ws();
-      if (i < text.size() && text[i] == ',') {
-        ++i;
-        continue;
-      }
-      break;
-    }
-    expect('}', "',' or '}'");
-  }
-  skip_ws();
-  if (i != text.size()) {
-    fail(source, line, "trailing characters after the JSON object");
-  }
-  return record;
-}
-
-const Field& require_field(const Record& record, const std::string& key,
-                           std::string_view source, std::size_t line) {
-  const auto it = record.find(key);
-  if (it == record.end()) {
-    fail(source, line, "missing required field \"" + key + "\"");
-  }
-  return it->second;
-}
-
-std::string require_string(const Record& record, const std::string& key,
-                           std::string_view source, std::size_t line) {
-  const Field& field = require_field(record, key, source, line);
-  if (!field.is_string) {
-    fail(source, line, "field \"" + key + "\" must be a string");
-  }
-  return field.text;
-}
-
-double require_number(const Record& record, const std::string& key,
-                      std::string_view source, std::size_t line) {
-  const Field& field = require_field(record, key, source, line);
-  if (field.is_string) {
-    fail(source, line, "field \"" + key + "\" must be a number");
-  }
-  const char* begin = field.text.c_str();
-  char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  if (end != begin + field.text.size()) {
-    fail(source, line,
-         "field \"" + key + "\" is not a number: '" + field.text + "'");
-  }
-  return value;
-}
-
-double optional_number(const Record& record, const std::string& key,
-                       double fallback, std::string_view source,
-                       std::size_t line) {
-  return record.count(key) ? require_number(record, key, source, line)
-                           : fallback;
-}
-
-std::uint64_t require_count(const Record& record, const std::string& key,
-                            std::string_view source, std::size_t line) {
-  const double value = require_number(record, key, source, line);
-  if (value < 0.0 || value != static_cast<double>(
-                                  static_cast<std::uint64_t>(value))) {
-    fail(source, line,
-         "field \"" + key + "\" must be a non-negative integer");
-  }
-  return static_cast<std::uint64_t>(value);
-}
+using jsonl::Field;
+using jsonl::Record;
+using jsonl::fail;
+using jsonl::json_escape;
+using jsonl::json_num;
+using jsonl::optional_number;
+using jsonl::parse_flat_object;
+using jsonl::require_count;
+using jsonl::require_number;
+using jsonl::require_string;
 
 trace::RankState state_from_name(const std::string& name,
                                  std::string_view source, std::size_t line) {
@@ -177,22 +32,6 @@ trace::RankState state_from_name(const std::string& name,
     if (name == trace::to_string(state)) return state;
   }
   fail(source, line, "unknown interval state '" + name + "'");
-}
-
-/// JSON number that round-trips a double exactly (17 significant digits).
-std::string json_num(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  return buffer;
-}
-
-std::string json_escape(std::string_view text) {
-  std::string out;
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
 }
 
 void emit_prefix(std::ostream& os, const char* type) {

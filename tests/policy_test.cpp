@@ -164,6 +164,46 @@ TEST(Registry, MalformedSpecs) {
   EXPECT_THROW((void)Registry::instance().make("", context), InvalidArgument);
 }
 
+TEST(Registry, EmptySpecErrorNamesTheAlternatives) {
+  // The empty spec is a distinct mistake from an unknown name: the error
+  // must point at --list-policies and the explicit "none" baseline rather
+  // than suggest a nearest match for "".
+  const auto context = flat_context(2, kPair);
+  try {
+    (void)Registry::instance().make("", context);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty policy spec"), std::string::npos) << what;
+    EXPECT_NE(what.find("--list-policies"), std::string::npos) << what;
+    EXPECT_NE(what.find("'none'"), std::string::npos) << what;
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, OneEditTypoSuggestsEveryFamily) {
+  // One-edit-distance typos of each registered family all get a
+  // did-you-mean pointing at the real name.
+  const auto context = flat_context(2, kPair);
+  const std::pair<const char*, const char*> typos[] = {
+      {"statix", "static"},
+      {"dynamc", "dynamic"},
+      {"two-lever", "two-level"},
+      {"allocaton", "allocation"},
+  };
+  for (const auto& [typo, correct] : typos) {
+    try {
+      (void)Registry::instance().make(typo, context);
+      FAIL() << "expected InvalidArgument for '" << typo << "'";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::string("did you mean '") +
+                                           correct + "'"),
+                std::string::npos)
+          << typo << ": " << e.what();
+    }
+  }
+}
+
 TEST(Registry, ConfiguredPoliciesValidate) {
   const auto context = flat_context(2, kPair);
   // Bad values reach the policy's own validate().

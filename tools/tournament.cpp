@@ -10,9 +10,11 @@
 // multi-node), and the skewed-cluster bench workload. Every entrant runs
 // every scenario through runner::BatchRunner, so results are
 // byte-identical for any --jobs value; the league table JSONL (schema
-// smtbal.tournament/1) is therefore deterministic and diffable.
+// smtbal.tournament/1) is therefore deterministic and diffable once its
+// final smtbal.bench.batch trailer (sampler/cache counters, the one
+// scheduling-dependent line) is dropped.
 //
-//   $ ./tournament [--smoke] [--jobs N] [--json FILE]
+//   $ ./tournament [--smoke] [--jobs N] [--json FILE] [--cache-capacity N]
 //                  [--policies a,b,c] [--seed-base N] [--list-policies]
 //                  [--list-scenarios]
 //
@@ -299,7 +301,8 @@ int run_tournament(bool smoke, std::uint64_t seed_base,
     }
   }
 
-  const runner::BatchRunner batch_runner(runner::BatchOptions{.jobs = cli.jobs});
+  const runner::BatchRunner batch_runner(runner::BatchOptions{
+      .jobs = cli.jobs, .cache_capacity = cli.cache_capacity});
   const runner::BatchResult batch = batch_runner.run(specs);
   std::cerr << "[tournament] " << runner::describe(batch) << '\n';
 
@@ -433,6 +436,10 @@ int run_tournament(bool smoke, std::uint64_t seed_base,
          << ",\"mean_imbalance\":" << json_num(standing.mean_imbalance)
          << "}\n";
     }
+    // The one scheduling-dependent line (sampler/cache counters, incl.
+    // evictions and peak_size under --cache-capacity); drop it before
+    // diffing files from different --jobs values.
+    os << runner::to_json_batch_record(batch) << '\n';
   }
 
   std::size_t failures = 0;
@@ -494,7 +501,7 @@ int main(int argc, char** argv) try {
       throw InvalidArgument("unknown argument '" + arg +
                             "' (try --smoke, --policies, --seed-base, "
                             "--list-policies, --list-scenarios, --jobs, "
-                            "--json)");
+                            "--json, --cache-capacity)");
     }
   }
   if (list_scenarios) {
