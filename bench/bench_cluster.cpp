@@ -26,9 +26,12 @@
 #include <sstream>
 #include <utility>
 
+#include <cmath>
+
 #include "cluster/balancer.hpp"
 #include "cluster/engine.hpp"
 #include "cluster/workload.hpp"
+#include "policy/repartition.hpp"
 #include "runner/batch.hpp"
 #include "runner/report.hpp"
 #include "smt/sampler.hpp"
@@ -154,6 +157,112 @@ int main(int argc, char** argv) try {
     std::cout << '\n';
   }
 
+  // --- migration corpus ------------------------------------------------------
+  // Same 2-node cluster but with 4-core chips (8 seats, 4 ranks per
+  // node), so cross-node migrations have landing room. Two workloads:
+  // the skewed corpus above (persistent node-0 overload) and the
+  // time-varying one (the heavy set hops between nodes every phase — a
+  // skew priorities cannot chase). Three schemes per workload: the two
+  // priorities-only baselines and the repartition balancer.
+  std::cout << "\nMigration corpus — 4-core nodes (free seats), "
+               "priorities-only vs repartition\n\n";
+
+  cluster::ClusterConfig mig_cfg = cluster_config();
+  mig_cfg.node.chip.num_cores = 4;
+  mig_cfg.node.chip.memory.num_cores = 4;
+  auto mig_sampler = std::make_shared<smt::ThroughputSampler>(
+      mig_cfg.node.chip, mig_cfg.node.sampler);
+
+  cluster::TimeVaryingClusterConfig varying;
+  varying.num_nodes = 2;
+  varying.ranks_per_node = 4;
+  varying.iterations = smoke ? 8 : 24;
+  varying.phase_length = smoke ? 4 : 8;
+  varying.base_instructions = smoke ? 1e9 : 2e9;
+  varying.heavy_factor = 3.0;
+  varying.heavy_ranks = 2;
+
+  struct MigRun {
+    std::string label;
+    cluster::ClusterRunResult result;
+    std::uint64_t migrations = 0;
+  };
+  struct MigCase {
+    std::string name;
+    std::vector<MigRun> runs;
+  };
+  const std::vector<std::string> mig_schemes = {"inner-only", "two-level",
+                                                "repartition"};
+  std::vector<MigCase> mig_cases;
+  for (const std::string& which : {std::string("skewed"),
+                                   std::string("time-varying")}) {
+    MigCase mig_case;
+    mig_case.name = which;
+    for (const std::string& scheme : mig_schemes) {
+      cluster::SkewedCluster built =
+          which == "skewed" ? cluster::make_skewed_cluster(workload)
+                            : cluster::make_time_varying_cluster(varying);
+      cluster::ClusterEngine engine(std::move(built.app), built.placement,
+                                    mig_cfg, mig_sampler);
+      std::optional<cluster::TwoLevelBalancer> two_level_policy;
+      std::optional<policy::RepartitionPolicy> repartition_policy;
+      if (scheme == "repartition") {
+        policy::RepartitionConfig rep;
+        rep.threshold = 0.10;
+        rep.hysteresis = 0.05;
+        rep.interval = 2;
+        rep.warmup_epochs = 1;
+        repartition_policy.emplace(rep);
+        engine.set_policy(&*repartition_policy);
+      } else {
+        two_level_policy.emplace(built.placement,
+                                 balancer_config(scheme == "two-level" ? 1
+                                                                       : 0));
+        engine.set_policy(&*two_level_policy);
+      }
+      MigRun run;
+      run.label = which + "/" + scheme;
+      run.result = engine.run();
+      for (const cluster::NodeStats& node : run.result.nodes) {
+        run.migrations += node.migrations;
+      }
+      mig_case.runs.push_back(std::move(run));
+    }
+    mig_cases.push_back(std::move(mig_case));
+  }
+
+  double geomean_log = 0.0;
+  for (const MigCase& mig_case : mig_cases) {
+    std::cout << mig_case.name << ":\n";
+    std::cout << std::left << std::setw(14) << "  scheme" << std::right
+              << std::setw(12) << "exec (s)" << std::setw(12) << "vs inner"
+              << std::setw(12) << "imbalance" << std::setw(12) << "migrations"
+              << '\n';
+    const double inner_exec = mig_case.runs[0].result.flat.exec_time;
+    for (const MigRun& run : mig_case.runs) {
+      std::ostringstream speedup;
+      speedup << std::fixed << std::setprecision(3)
+              << inner_exec / run.result.flat.exec_time << 'x';
+      const std::string scheme = run.label.substr(run.label.find('/') + 1);
+      std::cout << std::left << std::setw(14) << ("  " + scheme) << std::right
+                << std::fixed << std::setprecision(4) << std::setw(12)
+                << run.result.flat.exec_time << std::setw(12) << speedup.str()
+                << std::setprecision(3) << std::setw(12)
+                << run.result.flat.imbalance << std::setw(12)
+                << run.migrations << '\n';
+    }
+    const double best_priorities =
+        std::min(mig_case.runs[0].result.flat.exec_time,
+                 mig_case.runs[1].result.flat.exec_time);
+    geomean_log += std::log(best_priorities /
+                            mig_case.runs[2].result.flat.exec_time);
+    std::cout << '\n';
+  }
+  const double geomean =
+      std::exp(geomean_log / static_cast<double>(mig_cases.size()));
+  std::cout << "repartition vs best priorities-only: " << std::fixed
+            << std::setprecision(3) << geomean << "x geomean\n";
+
   if (!cli.json_path.empty()) {
     std::ofstream file(cli.json_path, std::ios::trunc);
     if (!file) {
@@ -169,12 +278,32 @@ int main(int argc, char** argv) try {
       file << runner::to_json_record(outcome, cases[c].result.node_of_rank)
            << '\n';
     }
+    std::size_t index = cases.size();
+    for (MigCase& mig_case : mig_cases) {
+      for (MigRun& run : mig_case.runs) {
+        runner::RunOutcome outcome;
+        outcome.label = run.label;
+        outcome.index = index++;
+        outcome.ok = true;
+        outcome.node_stats = std::move(run.result.nodes);
+        outcome.result = std::move(run.result.flat);
+        file << runner::to_json_record(outcome, run.result.node_of_rank)
+             << '\n';
+      }
+    }
   }
 
   const double two_level = cases[2].result.flat.exec_time;
   if (two_level >= baseline) {
     std::cerr << "REGRESSION: two-level (" << two_level
               << " s) did not beat all-MEDIUM (" << baseline << " s)\n";
+    return 1;
+  }
+  if (geomean < 1.10) {
+    std::cerr << "REGRESSION: repartition beat the best priorities-only "
+                 "scheme by only "
+              << std::fixed << std::setprecision(3) << geomean
+              << "x geomean (need >= 1.10x)\n";
     return 1;
   }
   return 0;

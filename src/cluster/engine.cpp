@@ -106,8 +106,10 @@ ClusterEngine::ClusterEngine(mpisim::Application app,
       placement_(std::move(placement)),
       config_(std::move(config)),
       sampler_(std::move(sampler)),
-      interconnect_(config_.interconnect, config_.num_nodes) {
+      interconnect_(config_.interconnect, config_.num_nodes),
+      migration_cost_(interconnect_, config_.migration) {
   config_.validate();
+  migration_of_node_.resize(config_.num_nodes);
   chips_.reserve(config_.num_nodes);
   for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
     chips_.push_back(config_.node_chip(n));
@@ -241,12 +243,11 @@ void ClusterEngine::set_rank_priority(RankId rank, int priority) {
                               smt::PrivilegeLevel::kUser);
   }
   const int after = smt::level(kernel.effective_priority(cpu));
-  if (after != before && active_bus_ != nullptr) {
-    if (sim_ != nullptr) {
-      sim_->notify_priority_change(rank, before, after);
-    } else {
-      active_bus_->notify_priority_change(rank, before, after, 0.0);
-    }
+  // The Sim exists for the whole window in which policy hooks may fire
+  // (run() builds it before on_start), so the notification always flows
+  // through it and carries the real simulation time.
+  if (after != before && sim_ != nullptr) {
+    sim_->notify_priority_change(rank, before, after);
   }
 }
 
@@ -282,11 +283,7 @@ void ClusterEngine::move_rank(RankId rank, CpuId to) {
   if (from == to) return;
   kernel.migrate(pid, to);  // throws (value-bearing) on an occupied seat
   placement_.within.cpu_of_rank[rank.value()] = to;
-  if (sim_ != nullptr) {
-    sim_->notify_placement_change(rank, from, to);
-  } else if (active_bus_ != nullptr) {
-    active_bus_->notify_placement_change(rank, from, to, 0.0);
-  }
+  if (sim_ != nullptr) sim_->notify_placement_change(rank, from, to);
 }
 
 void ClusterEngine::swap_ranks(RankId a, RankId b) {
@@ -320,9 +317,78 @@ void ClusterEngine::swap_ranks(RankId a, RankId b) {
   if (sim_ != nullptr) {
     sim_->notify_placement_change(a, cpu_a, cpu_b);
     sim_->notify_placement_change(b, cpu_b, cpu_a);
-  } else if (active_bus_ != nullptr) {
-    active_bus_->notify_placement_change(a, cpu_a, cpu_b, 0.0);
-    active_bus_->notify_placement_change(b, cpu_b, cpu_a, 0.0);
+  }
+}
+
+void ClusterEngine::migrate_rank(RankId rank, std::uint32_t node, CpuId to) {
+  SMTBAL_REQUIRE(!pid_of_rank_.empty(),
+                 "migrate_rank is only valid from policy hooks "
+                 "(processes not spawned yet)");
+  check_rank(rank, "migrate_rank");
+  if (node >= config_.num_nodes) {
+    throw InvalidArgument("migrate_rank: node " + std::to_string(node) +
+                          " out of range [0, " +
+                          std::to_string(config_.num_nodes) + ")");
+  }
+  const std::uint32_t from_node = placement_.node_of_rank[rank.value()];
+  if (node == from_node) {
+    move_rank(rank, to);
+    return;
+  }
+  const smt::ChipConfig& chip = chips_[node];
+  if (to.linear(chip.threads_per_core()) >= chip.num_contexts() ||
+      to.slot.value() >= chip.threads_per_core()) {
+    throw InvalidArgument(
+        "migrate_rank: target (core " + std::to_string(to.core.value()) +
+        ", slot " + std::to_string(to.slot.value()) + ") is beyond node " +
+        std::to_string(node) + "'s " + std::to_string(chip.num_contexts()) +
+        " contexts");
+  }
+  os::KernelModel& from_kernel = *kernels_[from_node];
+  os::KernelModel& to_kernel = *kernels_[node];
+  const Pid pid = pid_of_rank_[rank.value()];
+  const CpuId from = placement_.within.cpu_of_rank[rank.value()];
+  // An exited rank has no process to migrate; ignore, like
+  // set_rank_priority racing process exit.
+  if (from_kernel.process_on(from) != std::optional<Pid>(pid)) return;
+  if (to_kernel.process_on(to).has_value()) {
+    throw InvalidArgument(
+        "migrate_rank: target seat (node " + std::to_string(node) + ", core " +
+        std::to_string(to.core.value()) + ", slot " +
+        std::to_string(to.slot.value()) + ") already hosts a process");
+  }
+  const int level = smt::level(from_kernel.effective_priority(from));
+  if (!budgets_.empty() && priority_sum(node) + level > budgets_[node]) {
+    throw InvalidArgument(
+        "migrate_rank: moving rank " + std::to_string(rank.value()) +
+        " (priority " + std::to_string(level) + ") onto node " +
+        std::to_string(node) + " would push its priority sum to " +
+        std::to_string(priority_sum(node) + level) + ", over its budget of " +
+        std::to_string(budgets_[node]));
+  }
+  // State handoff between the node kernels: the source tears the process
+  // down, the target spawns it on the new seat, and the priority level
+  // travels by rewrite (on a vanilla kernel userspace can only restore
+  // levels in the or-nop band 2..4; others keep the spawn default).
+  from_kernel.exit_process(pid);
+  const Pid fresh = to_kernel.spawn(to);
+  pid_of_rank_[rank.value()] = fresh;
+  if (to_kernel.flavor() == os::KernelFlavor::kPatched) {
+    to_kernel.write_hmt_priority(fresh, level);
+  } else if (level >= 2 && level <= 4) {
+    to_kernel.set_priority_ornop(fresh, smt::priority_from_int(level),
+                                 smt::PrivilegeLevel::kUser);
+  }
+  placement_.node_of_rank[rank.value()] = node;
+  placement_.within.cpu_of_rank[rank.value()] = to;
+  const SimTime now = sim_ != nullptr ? sim_->now() : 0.0;
+  const SimTime landed = migration_cost_.arrival_time(now, from_node, node);
+  MigrationCounters& counters = migration_of_node_[from_node];
+  ++counters.migrations;
+  counters.bytes += config_.migration.resident_state_bytes;
+  counters.stall += landed - now;
+  if (sim_ != nullptr) {
+    sim_->notify_rank_migration(rank, from_node, node, to, landed);
   }
 }
 
@@ -382,6 +448,9 @@ ClusterRunResult ClusterEngine::run() {
   mpisim::PolicyObserver policy_observer(policy_, *this);
   bus.attach(&trace_observer);
   bus.attach(&metrics_observer);
+  // Before the policy observer: a policy's on_epoch must see the traffic
+  // accumulated up to the epoch boundary.
+  bus.attach(&comm_observer_);
   if (policy_ != nullptr) bus.attach(&policy_observer);
 
   // Reset the live-run notification targets however run() exits.
@@ -398,9 +467,11 @@ ClusterRunResult ClusterEngine::run() {
     pid_of_rank_.push_back(kernels_[placement_.node_of_rank[r]]->spawn(
         placement_.within.cpu_of_rank[r]));
   }
-  bus.notify_start(app_.size());
-  if (policy_ != nullptr) policy_->on_start(*this);
 
+  // The Sim is built before the policy's on_start fires so pre-run
+  // actuations (priorities, seat moves, migrations) flow through the same
+  // notify paths as mid-run ones and observers see consistent (t = 0)
+  // timestamps.
   std::vector<mpisim::detail::NodeCtx> nodes;
   nodes.reserve(config_.num_nodes);
   for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
@@ -413,6 +484,9 @@ ClusterRunResult ClusterEngine::run() {
                           config_.node, std::move(nodes), cost, pid_of_rank_,
                           bus);
   sim_ = &sim;
+
+  bus.notify_start(app_.size());
+  if (policy_ != nullptr) policy_->on_start(*this);
   const mpisim::detail::RunStats stats = sim.run();
 
   ClusterRunResult result;
@@ -444,6 +518,12 @@ ClusterRunResult ClusterEngine::run() {
     node.spin += rank.spin;
     node.preempted += rank.preempted;
     ++node.ranks;
+  }
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    const MigrationCounters& counters = migration_of_node_[n];
+    result.nodes[n].migrations = counters.migrations;
+    result.nodes[n].bytes_migrated = counters.bytes;
+    result.nodes[n].migration_stall = counters.stall;
   }
   return result;
 }

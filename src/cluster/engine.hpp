@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/comm_graph.hpp"
 #include "cluster/interconnect.hpp"
 #include "cluster/placement.hpp"
 #include "mpisim/engine.hpp"
@@ -44,6 +45,18 @@ struct ClusterConfig {
     [[nodiscard]] bool operator==(const NodeShape&) const = default;
   };
 
+  /// Cross-node rank migration pricing (migrate_rank): the migrating
+  /// rank's resident state crosses the interconnect like one large
+  /// message — occupying the directed link, so migrations contend with
+  /// application traffic — and the rank stalls until it lands.
+  struct MigrationConfig {
+    /// Bytes of process state shipped per migration (address space +
+    /// communicator state). 0 = free, instantaneous migration.
+    std::uint64_t resident_state_bytes = std::uint64_t{1} << 24;  // 16 MiB
+
+    [[nodiscard]] bool operator==(const MigrationConfig&) const = default;
+  };
+
   std::uint32_t num_nodes = 1;
   /// Per-node base configuration, shared by every node: chip, sampler
   /// options, kernel flavor, intra-node network, noise profile (seeds are
@@ -54,6 +67,7 @@ struct ClusterConfig {
   /// cluster. Entries beyond num_nodes are rejected by validate().
   std::vector<NodeShape> node_shapes{};
   InterconnectConfig interconnect{};
+  MigrationConfig migration{};
 
   /// True when every node runs the base chip unchanged.
   [[nodiscard]] bool homogeneous() const;
@@ -75,6 +89,35 @@ struct NodeStats {
   SimTime spin = 0.0;
   SimTime preempted = 0.0;
   std::size_t ranks = 0;
+  /// Cross-node migrations actuated with this node as the source, the
+  /// resident-state bytes they shipped, and the total time the departing
+  /// ranks stalled while their state crossed the interconnect.
+  std::uint64_t migrations = 0;
+  std::uint64_t bytes_migrated = 0;
+  SimTime migration_stall = 0.0;
+};
+
+/// Prices one cross-node migration: the rank's resident state rides the
+/// stateful interconnect as a single transfer on the (from, to) path, so
+/// migrations queue behind — and delay — application messages sharing
+/// the links.
+class MigrationCostModel {
+ public:
+  MigrationCostModel(Interconnect& interconnect,
+                     const ClusterConfig::MigrationConfig& config)
+      : interconnect_(&interconnect), config_(&config) {}
+
+  /// When the migrating rank's state lands on the target node (>= now).
+  [[nodiscard]] SimTime arrival_time(SimTime now, std::uint32_t from_node,
+                                     std::uint32_t to_node) {
+    if (config_->resident_state_bytes == 0) return now;
+    return interconnect_->transfer(now, from_node, to_node,
+                                   config_->resident_state_bytes);
+  }
+
+ private:
+  Interconnect* interconnect_;
+  const ClusterConfig::MigrationConfig* config_;
 };
 
 struct ClusterRunResult {
@@ -140,12 +183,22 @@ class ClusterEngine final : public mpisim::EngineControl {
   [[nodiscard]] std::uint32_t num_cores_of(std::uint32_t node) override;
   [[nodiscard]] std::uint32_t node_of(RankId rank) const override;
   /// Within-node moves only: the target seat must be free on the rank's
-  /// hosting node (cross-node migration is rank migration, a different
-  /// mechanism — see ROADMAP).
+  /// hosting node (cross-node moves go through migrate_rank).
   void move_rank(RankId rank, CpuId to) override;
   /// Same-node pairs only; throws a value-bearing error on a cross-node
   /// pair.
   void swap_ranks(RankId a, RankId b) override;
+  /// Cross-node rank migration: hands the process over between the node
+  /// kernels (priority travels by rewrite), reseats the rank in the
+  /// simulation core, and stalls it while its resident state crosses the
+  /// interconnect (MigrationCostModel). Same-node targets degrade to
+  /// move_rank.
+  void migrate_rank(RankId rank, std::uint32_t node, CpuId to) override;
+  /// The run's accumulated rank-to-rank traffic (CommGraphObserver);
+  /// empty before run().
+  [[nodiscard]] const CommGraph* comm_graph() const override {
+    return &comm_observer_.graph();
+  }
   void install_budgets(int per_node_budget) override;
   void transfer_budget(std::uint32_t from, std::uint32_t to,
                        int amount) override;
@@ -189,6 +242,16 @@ class ClusterEngine final : public mpisim::EngineControl {
   std::vector<smt::ThroughputSampler*> sampler_of_node_;
   std::vector<std::unique_ptr<os::KernelModel>> kernels_;
   Interconnect interconnect_;
+  MigrationCostModel migration_cost_;
+  CommGraphObserver comm_observer_;
+  /// Per-source-node migration accounting, folded into NodeStats by
+  /// run().
+  struct MigrationCounters {
+    std::uint64_t migrations = 0;
+    std::uint64_t bytes = 0;
+    SimTime stall = 0.0;
+  };
+  std::vector<MigrationCounters> migration_of_node_;
   mpisim::BalancePolicy* policy_ = nullptr;
   std::vector<mpisim::SimObserver*> observers_;
   std::vector<Pid> pid_of_rank_;

@@ -1,0 +1,296 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smtbal::cluster {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// One level of the coarsening hierarchy. Fine vertices map to coarse
+/// ones via coarse_of; seats counts how many original vertices a
+/// super-vertex stands for (each original vertex occupies one seat).
+struct Level {
+  std::vector<double> weight;
+  std::vector<std::uint32_t> seats;
+  std::vector<std::map<std::uint32_t, double>> adjacency;
+  std::vector<std::uint32_t> coarse_of;  ///< into the next (coarser) level
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(weight.size());
+  }
+};
+
+/// Greedy heavy-edge matching: visit vertices in id order; an unmatched
+/// vertex pairs with its heaviest-edge unmatched neighbour (ties to the
+/// smallest id) whose combined seat count stays mergeable. Returns the
+/// coarse level; coarse ids are assigned in order of the representative
+/// (smaller) fine id, so the hierarchy is deterministic.
+Level coarsen(Level& fine, std::uint32_t max_merge_seats) {
+  const std::uint32_t n = fine.size();
+  std::vector<std::uint32_t> match(n, n);  // n = unmatched
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (match[v] != n) continue;
+    std::uint32_t best = n;
+    double best_weight = 0.0;
+    for (const auto& [u, w] : fine.adjacency[v]) {
+      if (match[u] != n || u == v) continue;
+      if (fine.seats[v] + fine.seats[u] > max_merge_seats) continue;
+      if (w > best_weight + kEps || (w > best_weight - kEps && u < best)) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    match[v] = best == n ? v : best;
+    if (best != n) match[best] = v;
+  }
+  fine.coarse_of.assign(n, n);
+  std::uint32_t coarse_count = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (fine.coarse_of[v] != n) continue;
+    fine.coarse_of[v] = coarse_count;
+    fine.coarse_of[match[v]] = coarse_count;  // match[v] == v when alone
+    ++coarse_count;
+  }
+  Level coarse;
+  coarse.weight.assign(coarse_count, 0.0);
+  coarse.seats.assign(coarse_count, 0);
+  coarse.adjacency.assign(coarse_count, {});
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = fine.coarse_of[v];
+    coarse.weight[cv] += fine.weight[v];
+    coarse.seats[cv] += fine.seats[v];
+    for (const auto& [u, w] : fine.adjacency[v]) {
+      const std::uint32_t cu = fine.coarse_of[u];
+      if (cu == cv) continue;  // interior edge collapses
+      coarse.adjacency[cv][cu] += w;
+    }
+  }
+  return coarse;
+}
+
+/// Capacity-aware LPT: heaviest vertex first onto the least-loaded part
+/// that still has seats. Exact load ties rotate by `seed` so distinct
+/// seeds explore distinct (still balanced) initial placements.
+std::vector<std::uint32_t> initial_partition(
+    const Level& level, const std::vector<std::uint32_t>& capacities,
+    std::uint64_t seed) {
+  const std::uint32_t n = level.size();
+  const auto k = static_cast<std::uint32_t>(capacities.size());
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return level.weight[a] > level.weight[b];
+                   });
+  std::vector<std::uint32_t> part(n, 0);
+  std::vector<double> load(k, 0.0);
+  std::vector<std::uint32_t> used(k, 0);
+  for (const std::uint32_t v : order) {
+    std::uint32_t best = k;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto p = static_cast<std::uint32_t>((i + seed) % k);
+      if (used[p] + level.seats[v] > capacities[p]) continue;
+      if (best == k || load[p] < load[best] - kEps) best = p;
+    }
+    if (best == k) {
+      // No part has seats left (callers guarantee total fit, but a large
+      // super-vertex can strand seats): take the roomiest part and let
+      // refinement clean up.
+      std::uint32_t roomiest = 0;
+      for (std::uint32_t p = 1; p < k; ++p) {
+        const std::int64_t room = static_cast<std::int64_t>(capacities[p]) -
+                                  static_cast<std::int64_t>(used[p]);
+        const std::int64_t best_room =
+            static_cast<std::int64_t>(capacities[roomiest]) -
+            static_cast<std::int64_t>(used[roomiest]);
+        if (room > best_room) roomiest = p;
+      }
+      best = roomiest;
+    }
+    part[v] = best;
+    load[best] += level.weight[v];
+    used[best] += level.seats[v];
+  }
+  return part;
+}
+
+/// KL/FM-style boundary refinement: per pass, each vertex may move to
+/// the part that most lowers the maximum load, or — balance permitting —
+/// most lowers the cut. Deterministic: vertices in id order, part ties
+/// to the smallest id.
+void refine(const Level& level, const std::vector<std::uint32_t>& capacities,
+            double tolerance, int passes, std::vector<std::uint32_t>& part) {
+  const std::uint32_t n = level.size();
+  const auto k = static_cast<std::uint32_t>(capacities.size());
+  if (k < 2 || n == 0) return;
+  std::vector<double> load(k, 0.0);
+  std::vector<std::uint32_t> used(k, 0);
+  double total = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    load[part[v]] += level.weight[v];
+    used[part[v]] += level.seats[v];
+    total += level.weight[v];
+  }
+  const double mean = total / static_cast<double>(k);
+  const double balance_cap = mean * (1.0 + tolerance);
+  std::vector<double> conn(k, 0.0);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t a = part[v];
+      std::fill(conn.begin(), conn.end(), 0.0);
+      for (const auto& [u, w] : level.adjacency[v]) conn[part[u]] += w;
+      const double cur_max = *std::max_element(load.begin(), load.end());
+      // Two independent candidates: the move that most lowers the
+      // maximum load, and — separately — the move with the best cut gain
+      // whose target stays within the balance tolerance (this one may
+      // transiently raise the maximum; that is what the tolerance is
+      // for). Load repair wins when both exist.
+      std::uint32_t load_best = k;
+      double load_best_max = cur_max;
+      double load_best_gain = 0.0;
+      std::uint32_t cut_best = k;
+      double cut_best_gain = 0.0;
+      for (std::uint32_t b = 0; b < k; ++b) {
+        if (b == a) continue;
+        if (used[b] + level.seats[v] > capacities[b]) continue;
+        const double load_a = load[a] - level.weight[v];
+        const double load_b = load[b] + level.weight[v];
+        double new_max = std::max(load_a, load_b);
+        for (std::uint32_t p = 0; p < k; ++p) {
+          if (p != a && p != b) new_max = std::max(new_max, load[p]);
+        }
+        const double gain = conn[b] - conn[a];
+        if (new_max < cur_max - kEps &&
+            (load_best == k || new_max < load_best_max - kEps ||
+             (new_max < load_best_max + kEps &&
+              gain > load_best_gain + kEps))) {
+          load_best = b;
+          load_best_max = new_max;
+          load_best_gain = gain;
+        }
+        if (gain > cut_best_gain + kEps && load_b <= balance_cap) {
+          cut_best = b;
+          cut_best_gain = gain;
+        }
+      }
+      const std::uint32_t best = load_best != k ? load_best : cut_best;
+      if (best == k) continue;
+      load[a] -= level.weight[v];
+      used[a] -= level.seats[v];
+      load[best] += level.weight[v];
+      used[best] += level.seats[v];
+      part[v] = best;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+PartitionGraph::PartitionGraph(std::uint32_t num_vertices)
+    : weight_(num_vertices, 0.0), adjacency_(num_vertices) {}
+
+void PartitionGraph::set_vertex_weight(std::uint32_t v, double weight) {
+  if (v >= num_vertices()) {
+    throw InvalidArgument("PartitionGraph::set_vertex_weight: vertex " +
+                          std::to_string(v) + " out of range [0, " +
+                          std::to_string(num_vertices()) + ")");
+  }
+  weight_[v] = std::max(weight, 0.0);
+}
+
+void PartitionGraph::add_edge(std::uint32_t u, std::uint32_t v,
+                              double weight) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw InvalidArgument("PartitionGraph::add_edge: vertex " +
+                          std::to_string(std::max(u, v)) +
+                          " out of range [0, " +
+                          std::to_string(num_vertices()) + ")");
+  }
+  if (u == v || weight <= 0.0) return;
+  adjacency_[u][v] += weight;
+  adjacency_[v][u] += weight;
+}
+
+PartitionResult partition(const PartitionGraph& graph,
+                          const PartitionOptions& options) {
+  const auto k = static_cast<std::uint32_t>(options.capacities.size());
+  SMTBAL_REQUIRE(k > 0, "partition: capacities must name at least one part");
+  const std::uint32_t n = graph.num_vertices();
+  const std::uint64_t total_capacity =
+      std::accumulate(options.capacities.begin(), options.capacities.end(),
+                      std::uint64_t{0});
+  if (n > total_capacity) {
+    throw InvalidArgument("partition: " + std::to_string(n) +
+                          " vertices exceed the total capacity of " +
+                          std::to_string(total_capacity) + " seats");
+  }
+
+  // Build the finest level (one seat per vertex).
+  std::vector<Level> levels(1);
+  levels[0].weight.resize(n);
+  levels[0].seats.assign(n, 1);
+  levels[0].adjacency.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    levels[0].weight[v] = graph.vertex_weight(v);
+    levels[0].adjacency[v] = graph.neighbors(v);
+  }
+
+  // Coarsen until the graph is a handful of super-vertices per part or
+  // matching stops shrinking it. Merges are capped at the smallest part
+  // capacity so every super-vertex stays placeable. The target stays a
+  // comfortable multiple of k: load balance is the repartitioner's
+  // trigger, so the initial LPT needs enough super-vertices to spread
+  // load — coarsening all the way to k glues lumps it cannot split.
+  const std::uint32_t min_capacity =
+      *std::min_element(options.capacities.begin(), options.capacities.end());
+  const std::uint32_t max_merge = std::max<std::uint32_t>(min_capacity, 1);
+  const std::uint32_t coarse_target = std::max<std::uint32_t>(2 * k, 8);
+  while (levels.back().size() > coarse_target) {
+    Level coarse = coarsen(levels.back(), max_merge);
+    if (coarse.size() == levels.back().size()) break;
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial k-way partition of the coarsest level, then project + refine
+  // back down the hierarchy.
+  std::vector<std::uint32_t> part =
+      initial_partition(levels.back(), options.capacities, options.seed);
+  refine(levels.back(), options.capacities, options.tolerance,
+         options.refine_passes, part);
+  for (std::size_t li = levels.size() - 1; li-- > 0;) {
+    const Level& fine = levels[li];
+    std::vector<std::uint32_t> projected(fine.size());
+    for (std::uint32_t v = 0; v < fine.size(); ++v) {
+      projected[v] = part[fine.coarse_of[v]];
+    }
+    part = std::move(projected);
+    refine(fine, options.capacities, options.tolerance, options.refine_passes,
+           part);
+  }
+
+  PartitionResult result;
+  result.part_of_vertex = std::move(part);
+  result.part_load.assign(k, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    result.part_load[result.part_of_vertex[v]] += graph.vertex_weight(v);
+    for (const auto& [u, w] : graph.neighbors(v)) {
+      if (u > v && result.part_of_vertex[u] != result.part_of_vertex[v]) {
+        result.cut_weight += w;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smtbal::cluster

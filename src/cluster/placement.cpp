@@ -136,6 +136,17 @@ void ClusterPlacement::validate(
          << " but the cluster has " << num_nodes << " node(s)";
       throw InvalidArgument(os.str());
     }
+    // linear() folds an out-of-range slot onto another core's context
+    // (e.g. core 0 slot 2 == core 1 slot 0 at 2-way SMT); such a
+    // placement would silently double-book that seat, so reject the
+    // alias before the linear-range check can miss it.
+    if (within.cpu_of_rank[r].slot.value() >= tpc_of_node[node]) {
+      std::ostringstream os;
+      os << "rank " << r << " placed on SMT slot "
+         << within.cpu_of_rank[r].slot.value() << " but node " << node
+         << " cores are " << tpc_of_node[node] << "-way";
+      throw InvalidArgument(os.str());
+    }
     const std::uint32_t lin = within.cpu_of_rank[r].linear(tpc_of_node[node]);
     if (lin >= contexts_of_node[node]) {
       std::ostringstream os;

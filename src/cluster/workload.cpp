@@ -52,4 +52,57 @@ SkewedCluster make_skewed_cluster(const SkewedClusterConfig& config,
   return result;
 }
 
+void TimeVaryingClusterConfig::validate() const {
+  SMTBAL_REQUIRE(num_nodes >= 1, "num_nodes must be >= 1");
+  SMTBAL_REQUIRE(ranks_per_node >= 1, "ranks_per_node must be >= 1");
+  SMTBAL_REQUIRE(iterations > 0, "iterations must be positive");
+  SMTBAL_REQUIRE(phase_length > 0, "phase_length must be positive");
+  SMTBAL_REQUIRE(base_instructions > 0.0, "base_instructions must be > 0");
+  SMTBAL_REQUIRE(heavy_factor >= 1.0, "heavy_factor must be >= 1");
+  SMTBAL_REQUIRE(heavy_ranks >= 1 && heavy_ranks <= ranks_per_node,
+                 "heavy_ranks must be in [1, ranks_per_node]");
+  SMTBAL_REQUIRE(stat_duration >= 0.0, "stat_duration must be >= 0");
+}
+
+SkewedCluster make_time_varying_cluster(const TimeVaryingClusterConfig& config,
+                                        std::uint32_t threads_per_core) {
+  config.validate();
+  const isa::KernelId kernel =
+      isa::KernelRegistry::instance().by_name(config.load_kernel).id;
+  const std::size_t num_ranks =
+      std::size_t{config.num_nodes} * config.ranks_per_node;
+
+  SkewedCluster result;
+  result.placement = ClusterPlacement::block(num_ranks, config.num_nodes,
+                                             threads_per_core);
+  result.app.name = "TimeVaryingCluster";
+  result.app.ranks.resize(num_ranks);
+
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    const std::uint32_t home = result.placement.node_of_rank[r];
+    const std::uint32_t local =
+        static_cast<std::uint32_t>(r) % config.ranks_per_node;
+    auto& program = result.app.ranks[r];
+    for (int i = 0; i < config.iterations; ++i) {
+      const std::uint32_t heavy_node =
+          static_cast<std::uint32_t>(i / config.phase_length) %
+          config.num_nodes;
+      const bool heavy = home == heavy_node && local < config.heavy_ranks;
+      program.compute(kernel, config.base_instructions *
+                                  (heavy ? config.heavy_factor : 1.0));
+      if (config.ring_bytes > 0) {
+        const auto next = static_cast<std::uint32_t>((r + 1) % num_ranks);
+        const auto prev = static_cast<std::uint32_t>((r + num_ranks - 1) %
+                                                     num_ranks);
+        program.send(RankId{next}, config.ring_bytes, i);
+        program.recv(RankId{prev}, config.ring_bytes, i);
+        program.wait_all();
+      }
+      program.delay(config.stat_duration, trace::RankState::kStat);
+      program.barrier();
+    }
+  }
+  return result;
+}
+
 }  // namespace smtbal::cluster

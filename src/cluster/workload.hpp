@@ -49,4 +49,41 @@ struct SkewedCluster {
 [[nodiscard]] SkewedCluster make_skewed_cluster(
     const SkewedClusterConfig& config, std::uint32_t threads_per_core = 2);
 
+/// Time-varying node imbalance: the load concentration *moves between
+/// nodes* as the run progresses. Iterations are grouped into phases of
+/// `phase_length`; during phase p, `heavy_ranks` of node (p mod
+/// num_nodes)'s ranks carry `heavy_factor` times the base load, so a
+/// different node is the cluster's laggard in every phase. Priorities
+/// can only redistribute decode slots *within* a node — the cross-node
+/// skew needs rank migration to fix, which makes this the repartition
+/// balancer's showcase (and, with ring_bytes > 0, each rank exchanges a
+/// neighbour halo every iteration so the communication graph has
+/// structure for the partitioner to preserve).
+struct TimeVaryingClusterConfig {
+  std::uint32_t num_nodes = 2;
+  /// Ranks initially placed per node (block placement). Choose a chip
+  /// with more seats than this to leave migration landing room.
+  std::uint32_t ranks_per_node = 4;
+  int iterations = 24;
+  /// Iterations per heavy phase (the imbalance moves when it rolls over).
+  int phase_length = 8;
+  std::string load_kernel = "hpc_mixed";
+  /// Instructions per iteration for an unloaded rank.
+  double base_instructions = 2e9;
+  /// Load multiplier of the phase's heavy ranks.
+  double heavy_factor = 3.0;
+  /// How many of the heavy node's ranks carry the multiplier.
+  std::uint32_t heavy_ranks = 2;
+  /// Per-iteration neighbour (ring) exchange payload; 0 disables it.
+  std::uint64_t ring_bytes = std::uint64_t{1} << 16;
+  /// Per-iteration statistics delay.
+  SimTime stat_duration = 0.01;
+
+  void validate() const;
+};
+
+/// Builds the application + block placement described by `config`.
+[[nodiscard]] SkewedCluster make_time_varying_cluster(
+    const TimeVaryingClusterConfig& config, std::uint32_t threads_per_core = 2);
+
 }  // namespace smtbal::cluster

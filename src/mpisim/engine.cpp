@@ -70,6 +70,11 @@ Engine::Engine(Application app, Placement placement, EngineConfig config,
                        config_.chip.num_contexts(),
                    "placement assigns a rank to a CPU beyond "
                    "chip.num_contexts()");
+    // linear() folds an out-of-range slot onto another core's context;
+    // reject the alias instead of silently double-booking that seat.
+    SMTBAL_REQUIRE(cpu.slot.value() < config_.chip.threads_per_core(),
+                   "placement assigns a rank to an SMT slot beyond "
+                   "chip.threads_per_core()");
   }
   app_.validate();
 }
@@ -130,12 +135,11 @@ void Engine::set_rank_priority(RankId rank, int priority) {
                                smt::PrivilegeLevel::kUser);
   }
   const int after = smt::level(kernel_.effective_priority(cpu));
-  if (after != before && active_bus_ != nullptr) {
-    if (sim_ != nullptr) {
-      sim_->notify_priority_change(rank, before, after);
-    } else {
-      active_bus_->notify_priority_change(rank, before, after, 0.0);
-    }
+  // The Sim exists for the whole window in which policy hooks may fire
+  // (run() builds it before on_start), so the notification always flows
+  // through it and carries the real simulation time.
+  if (after != before && sim_ != nullptr) {
+    sim_->notify_priority_change(rank, before, after);
   }
 }
 
@@ -151,12 +155,14 @@ void Engine::move_rank(RankId rank, CpuId to) {
                  "(processes not spawned yet)");
   check_rank(rank, "move_rank");
   if (to.linear(config_.chip.threads_per_core()) >=
-      config_.chip.num_contexts()) {
+          config_.chip.num_contexts() ||
+      to.slot.value() >= config_.chip.threads_per_core()) {
     throw InvalidArgument(
         "move_rank: target (core " + std::to_string(to.core.value()) +
         ", slot " + std::to_string(to.slot.value()) +
         ") is beyond the chip's " +
-        std::to_string(config_.chip.num_contexts()) + " contexts");
+        std::to_string(config_.chip.num_contexts()) + " contexts (" +
+        std::to_string(config_.chip.threads_per_core()) + "-way SMT)");
   }
   const Pid pid = pid_of_rank_[rank.value()];
   const CpuId from = placement_.cpu_of_rank[rank.value()];
@@ -166,11 +172,7 @@ void Engine::move_rank(RankId rank, CpuId to) {
   if (from == to) return;
   kernel_.migrate(pid, to);  // throws (value-bearing) on an occupied seat
   placement_.cpu_of_rank[rank.value()] = to;
-  if (sim_ != nullptr) {
-    sim_->notify_placement_change(rank, from, to);
-  } else if (active_bus_ != nullptr) {
-    active_bus_->notify_placement_change(rank, from, to, 0.0);
-  }
+  if (sim_ != nullptr) sim_->notify_placement_change(rank, from, to);
 }
 
 void Engine::swap_ranks(RankId a, RankId b) {
@@ -194,10 +196,18 @@ void Engine::swap_ranks(RankId a, RankId b) {
   if (sim_ != nullptr) {
     sim_->notify_placement_change(a, cpu_a, cpu_b);
     sim_->notify_placement_change(b, cpu_b, cpu_a);
-  } else if (active_bus_ != nullptr) {
-    active_bus_->notify_placement_change(a, cpu_a, cpu_b, 0.0);
-    active_bus_->notify_placement_change(b, cpu_b, cpu_a, 0.0);
   }
+}
+
+void Engine::migrate_rank(RankId rank, std::uint32_t node, CpuId to) {
+  // The flat engine is one node: migration degrades to an intra-node
+  // move, which keeps M=1 cluster runs and flat runs behaviourally
+  // identical for migration-aware policies.
+  if (node >= 1) {
+    throw InvalidArgument("migrate_rank: node " + std::to_string(node) +
+                          " out of range — the flat engine is one node");
+  }
+  move_rank(rank, to);
 }
 
 void Engine::install_budgets(int per_node_budget) {
@@ -258,17 +268,21 @@ RunResult Engine::run() {
   for (std::size_t r = 0; r < app_.size(); ++r) {
     pid_of_rank_.push_back(kernel_.spawn(placement_.cpu_of_rank[r]));
   }
-  bus.notify_start(app_.size());
-  if (policy_ != nullptr) policy_->on_start(*this);
 
   // The flat engine is a one-node cluster: a single NodeCtx, every rank on
-  // node 0, intra-node costs for every transfer.
+  // node 0, intra-node costs for every transfer. The Sim is built before
+  // the policy's on_start fires so pre-run actuations (priorities, seat
+  // moves) flow through the same notify paths as mid-run ones and
+  // observers see consistent (t = 0) timestamps.
   std::vector<detail::NodeCtx> nodes{{&config_.chip, sampler_.get(), &kernel_}};
   const std::vector<std::uint32_t> node_of_rank(app_.size(), 0);
   NetworkCostModel cost(config_.network);
   detail::Sim sim(app_, placement_, node_of_rank, config_, std::move(nodes),
                   cost, pid_of_rank_, bus);
   sim_ = &sim;
+
+  bus.notify_start(app_.size());
+  if (policy_ != nullptr) policy_->on_start(*this);
   const detail::RunStats stats = sim.run();
 
   RunResult result;

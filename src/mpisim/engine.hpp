@@ -128,6 +128,10 @@ class Engine final : public EngineControl {
   }
   void move_rank(RankId rank, CpuId to) override;
   void swap_ranks(RankId a, RankId b) override;
+  /// One node: node 0 degrades to move_rank, anything else throws — so a
+  /// migration-aware policy behaves identically on the flat engine and on
+  /// an M=1 cluster.
+  void migrate_rank(RankId rank, std::uint32_t node, CpuId to) override;
   void install_budgets(int per_node_budget) override;
   void transfer_budget(std::uint32_t from, std::uint32_t to,
                        int amount) override;

@@ -34,6 +34,9 @@ struct MsgPayload {
   std::uint32_t src = 0;
   std::uint32_t dst = 0;
   int tag = 0;
+  /// Message size; lets observers accumulate a rank-to-rank traffic
+  /// graph (cluster::CommGraphObserver) without re-walking the program.
+  std::uint64_t bytes = 0;
 };
 
 struct Event {

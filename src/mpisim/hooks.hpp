@@ -44,6 +44,10 @@
 #include "os/kernel.hpp"
 #include "smt/priority.hpp"
 
+namespace smtbal::cluster {
+class CommGraph;
+}  // namespace smtbal::cluster
+
 namespace smtbal::mpisim {
 
 struct Placement;
@@ -164,6 +168,26 @@ class EngineControl {
     (void)a, (void)b;
     throw InvalidArgument("swap_ranks: this control surface does not support "
                           "placement moves");
+  }
+
+  /// Migrates `rank` to the free seat `to` on `node`, handing its process
+  /// over between the node kernels (the priority travels by rewrite) and
+  /// pricing the resident-state transfer onto the interconnect — the rank
+  /// stalls until the state lands. Same-node targets degrade to
+  /// move_rank. Throws InvalidArgument on an out-of-range rank, node or
+  /// seat, or when the target seat already hosts a process; a rank that
+  /// already exited is ignored.
+  virtual void migrate_rank(RankId rank, std::uint32_t node, CpuId to) {
+    (void)rank, (void)node, (void)to;
+    throw InvalidArgument("migrate_rank: this control surface does not "
+                          "support cross-node migration");
+  }
+
+  /// The accumulated rank-to-rank message-traffic graph of the run so
+  /// far, or nullptr when the engine does not track one (flat engine,
+  /// narrow adapters). Never owning; valid until the run ends.
+  [[nodiscard]] virtual const cluster::CommGraph* comm_graph() const {
+    return nullptr;
   }
 
   /// Caps every node's priority-level sum at `per_node_budget` (the same

@@ -55,6 +55,13 @@ class SimObserver {
     (void)rank, (void)from, (void)to, (void)now;
   }
 
+  /// A rank was migrated to a seat on another node (cluster runs only;
+  /// from_node != to_node — same-node moves arrive as placement changes).
+  virtual void on_rank_migration(RankId rank, std::uint32_t from_node,
+                                 std::uint32_t to_node, SimTime now) {
+    (void)rank, (void)from_node, (void)to_node, (void)now;
+  }
+
   /// All ranks completed one more global synchronisation epoch.
   virtual void on_epoch(const EpochReport& report) { (void)report; }
 
@@ -94,6 +101,12 @@ class ObserverBus {
   void notify_placement_change(RankId rank, CpuId from, CpuId to, SimTime now) {
     for (SimObserver* o : observers_) {
       o->on_placement_change(rank, from, to, now);
+    }
+  }
+  void notify_rank_migration(RankId rank, std::uint32_t from_node,
+                             std::uint32_t to_node, SimTime now) {
+    for (SimObserver* o : observers_) {
+      o->on_rank_migration(rank, from_node, to_node, now);
     }
   }
   void notify_epoch(const EpochReport& report) {

@@ -87,7 +87,9 @@ bool Sim::preempted(std::size_t rank) const {
 }
 
 void Sim::notify_priority_change(RankId rank, int from, int to) {
-  emit_meta(EventKind::kPriorityChange, rank.value());
+  // Pre-run changes (a policy's on_start) predate the event loop: no meta
+  // event exists to count, only the observer callback at t = 0.
+  if (running_) emit_meta(EventKind::kPriorityChange, rank.value());
   if (observed_) bus_.notify_priority_change(rank, from, to, now_);
 }
 
@@ -116,6 +118,52 @@ void Sim::notify_placement_change(RankId rank, CpuId from, CpuId to) {
     fresh_compute_.push_back(r);
   }
   if (observed_) bus_.notify_placement_change(rank, from, to, now_);
+}
+
+void Sim::notify_rank_migration(RankId rank, std::uint32_t from_node,
+                                std::uint32_t to_node, CpuId to,
+                                SimTime resume_at) {
+  const auto r = static_cast<std::size_t>(rank.value());
+  SMTBAL_CHECK(r < ranks_.size());
+  SMTBAL_CHECK(from_node < nodes_.size() && to_node < nodes_.size());
+  SMTBAL_CHECK(from_node != to_node);
+  NodeRt& src = nodes_[from_node];
+  NodeRt& dst = nodes_[to_node];
+  // Materialise the integration segment on the old seat (same discipline
+  // as notify_placement_change); the engine already flipped the
+  // placement maps, so the old context comes from our own cached index.
+  if (state_[r] == RunState::kComputing && !preempted(r)) accrue(r);
+  const std::uint32_t old_ctx = ctx_of_rank_[r];
+  if (rank_on_linear_[old_ctx] == static_cast<int>(r)) {
+    rank_on_linear_[old_ctx] = -1;
+  }
+  src.ranks.erase(std::find(src.ranks.begin(), src.ranks.end(), r));
+  dst.ranks.insert(std::upper_bound(dst.ranks.begin(), dst.ranks.end(), r),
+                   r);
+  const std::uint32_t tpc = dst.ctx.chip->threads_per_core();
+  lin_of_rank_[r] = to.linear(tpc);
+  ctx_of_rank_[r] = dst.ctx_base + lin_of_rank_[r];
+  SMTBAL_CHECK(rank_on_linear_[ctx_of_rank_[r]] < 0);
+  rank_on_linear_[ctx_of_rank_[r]] = static_cast<int>(r);
+  // Both nodes lost/gained a hardware context occupant: re-derive their
+  // chip-load keys and predictions on the next refresh.
+  if (state_[r] == RunState::kComputing) {
+    invalidate_prediction(r);
+    fresh_compute_.push_back(r);
+  }
+  // The resident state rides the interconnect; until it lands the rank
+  // sits preempted on its new seat (same machinery as OS noise, so the
+  // stall shows up as kPreempted in traces and stalls co-runners not at
+  // all — the seat is idle, not contended).
+  if (resume_at > now_ + kTimeEps) {
+    const std::uint32_t ctx = ctx_of_rank_[r];
+    preempt_until_[ctx] = std::max(preempt_until_[ctx], resume_at);
+    queue_.push(preempt_until_[ctx], EventKind::kNoiseResume, ctx);
+    if (state_[r] != RunState::kDone) {
+      set_trace(r, trace::RankState::kPreempted);
+    }
+  }
+  if (observed_) bus_.notify_rank_migration(rank, from_node, to_node, now_);
 }
 
 void Sim::invariant_audit(InvariantAudit& out) const {
@@ -175,6 +223,12 @@ void Sim::finish_rank(std::size_t rank) {
   state_[rank] = RunState::kDone;
   set_trace(rank, trace::RankState::kDone);
   node_of(rank).ctx.kernel->exit_process(pids_[rank]);
+  // The kernel just freed the seat; drop our occupancy mirror too, or a
+  // later migrant landing on it would pass the kernel's free-seat check
+  // and then trip the seating invariant here.
+  if (rank_on_linear_[ctx_of_rank_[rank]] == static_cast<int>(rank)) {
+    rank_on_linear_[ctx_of_rank_[rank]] = -1;
+  }
   ++done_count_;
 }
 
@@ -433,7 +487,7 @@ void Sim::advance_rank(std::size_t rank) {
                              send->peer.value(), send->tag, arrival);
       queue_.push(arrival, EventKind::kMsgArrival, send->peer.value(), 0,
                   MsgPayload{static_cast<std::uint32_t>(rank),
-                             send->peer.value(), send->tag});
+                             send->peer.value(), send->tag, send->bytes});
       ++rt.phase;
       continue;
     }
@@ -652,6 +706,7 @@ void Sim::deadlock() const {
 }
 
 RunStats Sim::run() {
+  running_ = true;
   // Latched once: attach order is fixed before run() (Engine enforces it),
   // so an unobserved run skips every notification dispatch below.
   observed_ = !bus_.empty();

@@ -127,6 +127,17 @@ class Sim final : public CollectiveClient, public AuditSource {
   /// changed context words and re-derives the node's rates.
   void notify_placement_change(RankId rank, CpuId from, CpuId to);
 
+  /// ClusterEngine::migrate_rank moved a rank to a (free) seat on another
+  /// node while the run is live. The engine's node/placement/pid maps are
+  /// already flipped; this rebinds the per-node rank lists and context
+  /// maps, invalidates the rank's prediction, and — when `resume_at` lies
+  /// in the future — stalls the rank on its new seat until the resident
+  /// state finishes crossing the interconnect (reusing the noise
+  /// preemption machinery, so the stall is visible as kPreempted).
+  void notify_rank_migration(RankId rank, std::uint32_t from_node,
+                             std::uint32_t to_node, CpuId to,
+                             SimTime resume_at);
+
   /// AuditSource: snapshots the kernel state for invariant checkers
   /// (offered to observers via notify_bind at the start of run()).
   void invariant_audit(InvariantAudit& out) const override;
@@ -240,6 +251,11 @@ class Sim final : public CollectiveClient, public AuditSource {
   /// when false, every notify dispatch (and the Event materialisation
   /// feeding it) is skipped — the state-bearing work still runs.
   bool observed_ = true;
+  /// False until run() starts: engines construct the Sim before a
+  /// policy's on_start so pre-run priority/placement changes flow through
+  /// the same notify paths, but those must not synthesise meta events
+  /// (nothing is counting events yet).
+  bool running_ = false;
   SimTime now_ = 0.0;
   std::uint64_t events_ = 0;  ///< processed (non-stale) events
   std::uint64_t pops_ = 0;    ///< all pops, the runaway guard's measure

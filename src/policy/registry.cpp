@@ -12,6 +12,7 @@
 #include "policy/allocation.hpp"
 #include "policy/budget.hpp"
 #include "policy/ilp_pairing.hpp"
+#include "policy/repartition.hpp"
 
 namespace smtbal::policy {
 
@@ -341,6 +342,33 @@ Registry make_default_registry() {
         alloc.smoothing = config.get_double("smoothing", alloc.smoothing);
         alloc.spread = config.get_bool("spread", alloc.spread);
         return std::make_unique<AllocationPolicy>(alloc);
+      });
+  registry.add(
+      {"repartition",
+       "migrates ranks between nodes with a multilevel partitioner when "
+       "fractional load imbalance crosses a threshold; per-node dynamic "
+       "balancers retune priorities in between",
+       "threshold=<frac>,hysteresis=<frac>,budget=<n>,interval=<n>,"
+       "warmup_epochs=<n>,smoothing=<0..1>,tolerance=<frac>,"
+       "inner_high_priority=...,inner_max_diff=...,"
+       "inner_wait_gap_threshold=...,inner_smoothing=...,"
+       "inner_warmup_epochs=..."},
+      [](ConfigMap& config, const PolicyContext&) {
+        RepartitionConfig repartition;
+        repartition.threshold =
+            config.get_double("threshold", repartition.threshold);
+        repartition.hysteresis =
+            config.get_double("hysteresis", repartition.hysteresis);
+        repartition.budget = config.get_int("budget", repartition.budget);
+        repartition.interval = config.get_int("interval", repartition.interval);
+        repartition.warmup_epochs =
+            config.get_int("warmup_epochs", repartition.warmup_epochs);
+        repartition.smoothing =
+            config.get_double("smoothing", repartition.smoothing);
+        repartition.tolerance =
+            config.get_double("tolerance", repartition.tolerance);
+        repartition.inner = dynamic_config_from(config, "inner_");
+        return std::make_unique<RepartitionPolicy>(repartition);
       });
   registry.add(
       {"budget-redistribution",

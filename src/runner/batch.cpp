@@ -151,7 +151,9 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
         cluster::ClusterEngine engine(spec.app, *spec.cluster_placement,
                                       *spec.cluster_config, sampler);
         if (policy != nullptr) engine.set_policy(policy.get());
-        out.result = std::move(engine.run().flat);
+        cluster::ClusterRunResult cluster_result = engine.run();
+        out.node_stats = std::move(cluster_result.nodes);
+        out.result = std::move(cluster_result.flat);
       } else {
         mpisim::Engine engine(spec.app, spec.placement, spec.config, sampler);
         if (policy != nullptr) engine.set_policy(policy.get());

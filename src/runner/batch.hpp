@@ -64,6 +64,9 @@ struct RunOutcome {
   bool ok = false;
   std::string error;              ///< exception message when !ok
   std::optional<mpisim::RunResult> result;  ///< engaged only when ok
+  /// Cluster runs only: the per-node aggregates (including migration
+  /// counters) from ClusterRunResult. Empty for flat runs.
+  std::vector<cluster::NodeStats> node_stats;
 };
 
 struct BatchOptions {

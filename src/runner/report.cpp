@@ -127,6 +127,12 @@ std::string json_run_record(const RunOutcome& outcome,
       node.preempted += m.preempted;
       ++node.ranks;
     }
+    // Migration counters ride along only when the run actually migrated,
+    // so every pre-migration run/3 record stays byte-identical.
+    bool any_migrations = false;
+    for (const cluster::NodeStats& stats : outcome.node_stats) {
+      if (stats.migrations > 0) any_migrations = true;
+    }
     os << ",\"nodes\":[";
     for (std::size_t n = 0; n < nodes.size(); ++n) {
       if (n > 0) os << ',';
@@ -134,7 +140,14 @@ std::string json_run_record(const RunOutcome& outcome,
          << ",\"compute_s\":" << json_num(nodes[n].compute)
          << ",\"wait_s\":" << json_num(nodes[n].wait)
          << ",\"spin_s\":" << json_num(nodes[n].spin)
-         << ",\"preempted_s\":" << json_num(nodes[n].preempted) << '}';
+         << ",\"preempted_s\":" << json_num(nodes[n].preempted);
+      if (any_migrations && n < outcome.node_stats.size()) {
+        const cluster::NodeStats& stats = outcome.node_stats[n];
+        os << ",\"migrations\":" << stats.migrations
+           << ",\"bytes_migrated\":" << stats.bytes_migrated
+           << ",\"migration_stall_s\":" << json_num(stats.migration_stall);
+      }
+      os << '}';
     }
     os << ']';
   }

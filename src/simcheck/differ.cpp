@@ -9,6 +9,7 @@
 
 #include "core/static_policy.hpp"
 #include "policy/registry.hpp"
+#include "policy/repartition.hpp"
 #include "simcheck/invariants.hpp"
 
 namespace smtbal::simcheck {
@@ -180,10 +181,27 @@ std::optional<std::string> check_spec(const ScenarioSpec& raw) {
       InvariantObserver invariants;
       invariants.watch_interconnect(&clustered.interconnect());
       clustered.add_observer(&invariants);
-      std::optional<core::StaticPriorityPolicy> policy;
-      if (!sc.priorities.empty()) {
-        policy.emplace(sc.priorities);
-        clustered.set_policy(&*policy);
+      std::optional<core::StaticPriorityPolicy> static_policy;
+      std::optional<smtbal::policy::RepartitionPolicy> repartition;
+      if (spec.migrate) {
+        // Hair-trigger repartitioning so the invariant checker sees
+        // actual cross-node migrations (the sanitized spec guarantees
+        // free seats). Vanilla kernels only accept priorities 2..4, so
+        // the inner controller is banded down to match.
+        smtbal::policy::RepartitionConfig config;
+        config.threshold = 0.05;
+        config.hysteresis = 0.05;
+        config.interval = 1;
+        config.warmup_epochs = 0;
+        if (spec.vanilla) {
+          config.inner.high_priority = 4;
+          config.inner.max_diff = 1;
+        }
+        repartition.emplace(config);
+        clustered.set_policy(&*repartition);
+      } else if (!sc.priorities.empty()) {
+        static_policy.emplace(sc.priorities);
+        clustered.set_policy(&*static_policy);
       }
       (void)clustered.run();
     }
@@ -255,6 +273,7 @@ ScenarioSpec shrink_spec(
   // healed by sanitize_spec; no-op mutations are skipped via equality.
   using Mutator = void (*)(ScenarioSpec&);
   static constexpr Mutator kMutators[] = {
+      [](ScenarioSpec& s) { s.migrate = false; },
       [](ScenarioSpec& s) { s.hetero = false; },
       [](ScenarioSpec& s) { s.family = 0; },
       [](ScenarioSpec& s) { s.num_nodes = 1; },

@@ -457,7 +457,7 @@ void Oracle::advance_rank(std::size_t rank) {
           .push_back(arrival);
       push(arrival, EventKind::kMsgArrival, send->peer.value(),
            mpisim::MsgPayload{static_cast<std::uint32_t>(rank),
-                              send->peer.value(), send->tag});
+                              send->peer.value(), send->tag, send->bytes});
       ++rt.phase;
       continue;
     }

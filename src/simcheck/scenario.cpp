@@ -93,6 +93,16 @@ ScenarioSpec sanitize_spec(ScenarioSpec spec) {
   spec.blocks = std::clamp(spec.blocks, 1u, 8u);
   spec.family = std::min(spec.family, 3u);
   if (spec.num_nodes < 2) spec.hetero = false;
+  if (spec.num_nodes < 2) spec.migrate = false;
+  if (spec.migrate) {
+    // Migrations need free seats to land on: cap ranks at half the
+    // cluster's capacity (num_ranks >= 2 keeps num_nodes >= 2 below).
+    const std::uint32_t cluster_seats =
+        spec.num_nodes * spec.num_cores * spec.threads_per_core;
+    spec.num_ranks =
+        std::clamp(spec.num_ranks, 2u, std::max(cluster_seats / 2, 2u));
+    spec.num_nodes = std::min(spec.num_nodes, spec.num_ranks);
+  }
   return spec;
 }
 
@@ -106,6 +116,9 @@ std::string to_string(const ScenarioSpec& spec) {
      << " prios=" << (spec.with_priorities ? 1 : 0)
      << " cyclic=" << (spec.cyclic_placement ? 1 : 0)
      << " family=" << spec.family << " hetero=" << (spec.hetero ? 1 : 0);
+  // Emitted only when set: every historical spec string — including the
+  // canonical keys the evaluation service hashes — stays byte-identical.
+  if (spec.migrate) os << " migrate=1";
   return os.str();
 }
 
@@ -200,12 +213,14 @@ ScenarioSpec parse_spec_string(std::string_view text) {
           static_cast<std::uint32_t>(parse_spec_number(token, value, kU32Max));
     } else if (key == "hetero") {
       spec.hetero = parse_spec_flag(token, value);
+    } else if (key == "migrate") {
+      spec.migrate = parse_spec_flag(token, value);
     } else {
       throw InvalidArgument(
           "scenario spec token '" + std::string(token) + "': unknown key '" +
           std::string(key) +
           "' (known: seed ranks nodes cores smt blocks flavor noise prios "
-          "cyclic family hetero)");
+          "cyclic family hetero migrate)");
     }
   }
   return spec;
@@ -242,6 +257,7 @@ ScenarioSpec random_spec(std::uint64_t seed) {
   spec.family = rng.chance(0.55) ? 0u
                                  : static_cast<std::uint32_t>(rng.below(3)) + 1u;
   spec.hetero = spec.num_nodes > 1 && rng.chance(0.35);
+  spec.migrate = spec.num_nodes > 1 && rng.chance(0.3);
   return sanitize_spec(spec);
 }
 

@@ -50,6 +50,11 @@ struct ScenarioSpec {
   /// seat capacity, so block/cyclic placements computed from the base
   /// shape stay valid.
   bool hetero = false;
+  /// Multi-node only: run under the repartition policy so cross-node
+  /// migrations exercise the kernel-handoff path. Sanitizing caps
+  /// num_ranks at half the cluster's seats so migrations always have
+  /// free seats to land on.
+  bool migrate = false;
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 };

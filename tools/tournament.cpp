@@ -212,6 +212,29 @@ std::vector<std::shared_ptr<ScenarioData>> build_corpus(bool smoke,
     data.cluster_config = cluster_config;
     add(std::move(data));
   }
+
+  // The migration showcase: the heavy set hops between nodes every
+  // phase, on 4-core nodes with free seats so cross-node rank migration
+  // has landing room. Priorities-only policies can at best soften the
+  // within-node spread; only the repartition family can chase the skew.
+  {
+    cluster::TimeVaryingClusterConfig config;
+    if (smoke) {
+      config.iterations = 8;
+      config.phase_length = 4;
+      config.base_instructions = 1e9;
+    }
+    cluster::SkewedCluster varying = cluster::make_time_varying_cluster(config);
+    ScenarioData data{"cluster/migrate-varying", std::move(varying.app),
+                      varying.placement.within};
+    cluster::ClusterConfig cluster_config;
+    cluster_config.num_nodes = config.num_nodes;
+    cluster_config.node.chip.num_cores = 4;
+    cluster_config.node.chip.memory.num_cores = 4;
+    data.cluster_placement = std::move(varying.placement);
+    data.cluster_config = cluster_config;
+    add(std::move(data));
+  }
   return corpus;
 }
 
